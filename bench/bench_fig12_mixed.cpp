@@ -1,0 +1,112 @@
+// Figure 12: mixed SP + SPJ workload with the cost-model switch.
+//
+// Paper setup: the Fig. 7 scenario (100K-orderkey lineorder, 500 distinct
+// suppkeys — scaled down proportionally) with 90 mixed queries: SP on
+// lineorder plus joins with supplier; both tables dirty. Series: Daisy w/o
+// cost model, Full, Daisy.
+//
+// Expected shape (paper): Daisy predicts around a third into the workload
+// that finishing the cleaning wholesale is cheaper, penalizes one query,
+// and ends below both alternatives.
+
+#include "bench/bench_util.h"
+#include "datagen/ssb.h"
+#include "datagen/workload.h"
+
+using namespace daisy;
+using namespace daisy::bench;
+
+namespace {
+
+void AddTables(Database* db, const SsbConfig& config) {
+  CheckOk(db->AddTable(GenerateLineorder(config).dirty), "lineorder");
+  CheckOk(db->AddTable(GenerateSupplier(300, config.distinct_suppkeys, 0.5,
+                                        0.3, 5)
+                           .dirty),
+          "supplier");
+}
+
+std::vector<std::string> MixedWorkload(const Table& lineorder) {
+  auto sp = UnwrapOrDie(
+      MakeRandomSelectivityQueries(lineorder, "orderkey", 90, 29,
+                                   "orderkey, suppkey"),
+      "sp workload");
+  // Every third query becomes a join.
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < sp.size(); ++i) {
+    if (i % 3 != 2) {
+      queries.push_back(sp[i]);
+      continue;
+    }
+    const size_t where = sp[i].find("WHERE");
+    queries.push_back(
+        "SELECT lineorder.orderkey, supplier.name FROM lineorder, supplier "
+        "WHERE lineorder.suppkey = supplier.suppkey AND " +
+        sp[i].substr(where + 6));
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  WarmupHeap();
+  SsbConfig config;
+  config.num_rows = 12000;
+  config.distinct_orderkeys = 2000;
+  config.distinct_suppkeys = 25;
+  config.violating_fraction = 1.0;
+  config.error_rate = 0.2;
+  config.error_style = SsbErrorStyle::kInDomain;
+
+  ConstraintSet rules;
+  {
+    Database probe;
+    AddTables(&probe, config);
+    CheckOk(rules.AddFromText(
+                "phi: FD orderkey -> suppkey", "lineorder",
+                probe.GetTable("lineorder").ValueOrDie()->schema()),
+            "phi");
+    CheckOk(rules.AddFromText(
+                "psi: FD address -> suppkey", "supplier",
+                probe.GetTable("supplier").ValueOrDie()->schema()),
+            "psi");
+  }
+
+  Database wl_db;
+  AddTables(&wl_db, config);
+  auto queries = MixedWorkload(*wl_db.GetTable("lineorder").ValueOrDie());
+
+  Database incr_db;
+  AddTables(&incr_db, config);
+  DaisyOptions incr_opts;
+  incr_opts.mode = DaisyOptions::Mode::kIncremental;
+  DaisyEngine incr(&incr_db, CloneRules(rules), incr_opts);
+  CheckOk(incr.Prepare(), "prepare");
+  DaisyRun incr_run = RunDaisyWorkload(&incr, queries);
+
+  Database full_db;
+  AddTables(&full_db, config);
+  OfflineRun full = RunOfflineWorkload(&full_db, rules, queries);
+  std::vector<double> full_series = full.per_query_seconds;
+  if (!full_series.empty()) full_series[0] += full.clean_seconds;
+
+  Database adapt_db;
+  AddTables(&adapt_db, config);
+  DaisyOptions adapt_opts;
+  adapt_opts.mode = DaisyOptions::Mode::kAdaptive;
+  DaisyEngine adapt(&adapt_db, CloneRules(rules), adapt_opts);
+  CheckOk(adapt.Prepare(), "prepare");
+  DaisyRun adapt_run = RunDaisyWorkload(&adapt, queries);
+
+  std::printf("# Figure 12: mixed SP+SPJ workload, cumulative time\n");
+  std::printf("# Daisy switched to full cleaning at query %zu\n",
+              adapt_run.switch_query);
+  PrintCumulative({"daisy_wo_cost", "full", "daisy"},
+                  {incr_run.per_query_seconds, full_series,
+                   adapt_run.per_query_seconds});
+  std::printf("# totals: daisy_wo_cost=%.3f full=%.3f daisy=%.3f\n",
+              incr_run.total_seconds, full.total_seconds,
+              adapt_run.total_seconds);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 13: complex SSB-family queries (Q1 / Q2 / Q3 ladder).
+//
+// Paper setup: Q1 joins lineorder with supplier under a suppkey range
+// filter; Q2 additionally joins part and date and groups by year and
+// brand; Q3 adds a fourth join with customer. All project the
+// (probabilistic) keys. 10 queries per family over the same engine state.
+//
+// Expected shape (paper): response time grows modestly with query
+// complexity — cleaning is pushed down to the lineorder/supplier join, so
+// the extra joins add plain query cost only.
+
+#include "bench/bench_util.h"
+#include "datagen/ssb.h"
+
+using namespace daisy;
+using namespace daisy::bench;
+
+namespace {
+
+void BuildDatabase(Database* db, const SsbConfig& config) {
+  CheckOk(db->AddTable(GenerateLineorder(config).dirty), "lineorder");
+  CheckOk(db->AddTable(GenerateSupplier(config.distinct_suppkeys * 5,
+                                        config.distinct_suppkeys, 0.5, 0.3, 5)
+                           .dirty),
+          "supplier");
+  CheckOk(db->AddTable(GeneratePart(config.distinct_partkeys, 3)), "part");
+  CheckOk(db->AddTable(GenerateDate(config.distinct_dates, 3)), "date");
+  CheckOk(db->AddTable(GenerateCustomer(config.distinct_custkeys, 3)),
+          "customer");
+}
+
+std::string Q1(int lo, int hi) {
+  char sql[512];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT lineorder.orderkey, lineorder.suppkey, supplier.name "
+                "FROM lineorder, supplier "
+                "WHERE lineorder.suppkey = supplier.suppkey AND "
+                "lineorder.suppkey >= %d AND lineorder.suppkey <= %d",
+                lo, hi);
+  return sql;
+}
+
+std::string Q2(int lo, int hi) {
+  char sql[768];
+  std::snprintf(
+      sql, sizeof(sql),
+      "SELECT date.year, part.brand, SUM(lineorder.revenue) AS rev "
+      "FROM lineorder, supplier, part, date "
+      "WHERE lineorder.suppkey = supplier.suppkey AND "
+      "lineorder.partkey = part.partkey AND "
+      "lineorder.orderdate = date.datekey AND "
+      "lineorder.suppkey >= %d AND lineorder.suppkey <= %d "
+      "GROUP BY date.year, part.brand",
+      lo, hi);
+  return sql;
+}
+
+std::string Q3(int lo, int hi) {
+  char sql[1024];
+  std::snprintf(
+      sql, sizeof(sql),
+      "SELECT date.year, customer.nation, SUM(lineorder.revenue) AS rev "
+      "FROM lineorder, supplier, part, date, customer "
+      "WHERE lineorder.suppkey = supplier.suppkey AND "
+      "lineorder.partkey = part.partkey AND "
+      "lineorder.orderdate = date.datekey AND "
+      "lineorder.custkey = customer.custkey AND "
+      "lineorder.suppkey >= %d AND lineorder.suppkey <= %d "
+      "GROUP BY date.year, customer.nation",
+      lo, hi);
+  return sql;
+}
+
+}  // namespace
+
+int main() {
+  WarmupHeap();
+  SsbConfig config;
+  config.num_rows = 6000;
+  config.distinct_orderkeys = 300;
+  config.distinct_suppkeys = 40;
+  config.violating_fraction = 0.8;
+  config.error_rate = 0.1;
+
+  std::printf("# Figure 13: SSB query-complexity ladder, cumulative time\n");
+  std::vector<std::vector<double>> series;
+  for (int family = 1; family <= 3; ++family) {
+    Database db;
+    BuildDatabase(&db, config);
+    ConstraintSet rules;
+    CheckOk(rules.AddFromText("phi: FD orderkey -> suppkey", "lineorder",
+                              db.GetTable("lineorder").ValueOrDie()->schema()),
+            "phi");
+    CheckOk(rules.AddFromText("psi: FD address -> suppkey", "supplier",
+                              db.GetTable("supplier").ValueOrDie()->schema()),
+            "psi");
+    DaisyEngine engine(&db, std::move(rules), DaisyOptions{});
+    CheckOk(engine.Prepare(), "prepare");
+
+    std::vector<std::string> queries;
+    for (int q = 0; q < 10; ++q) {
+      const int lo = q * 4;
+      const int hi = lo + 3;
+      queries.push_back(family == 1 ? Q1(lo, hi)
+                                    : family == 2 ? Q2(lo, hi) : Q3(lo, hi));
+    }
+    DaisyRun run = RunDaisyWorkload(&engine, queries);
+    series.push_back(run.per_query_seconds);
+  }
+  PrintCumulative({"Q1", "Q2", "Q3"}, series);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6: SP query cost when varying suppkey selectivity.
+//
+// Paper setup: lineorder versions with 100 / 1K / 10K distinct suppkeys
+// (scaled to 20 / 100 / 1000 over 10K rows), FD orderkey -> suppkey, 50
+// non-overlapping 2% queries with range filters over the *lhs* (orderkey)
+// — the transitive-closure relaxation case.
+//
+// Expected shape (paper): Daisy faster despite the closure; the smaller
+// the suppkey count, the higher the cost (each erroneous suppkey matches
+// many orderkeys -> more candidates).
+
+#include "bench/bench_util.h"
+#include "datagen/ssb.h"
+#include "datagen/workload.h"
+
+using namespace daisy;
+using namespace daisy::bench;
+
+int main() {
+  WarmupHeap();
+  std::printf(
+      "# Figure 6: SP cost vs #distinct suppkeys (lhs-filter workload)\n");
+  std::printf("# %-10s %14s %14s %14s %14s\n", "suppkeys", "full_clean_s",
+              "offline_qry_s", "offline_total", "daisy_total_s");
+  for (size_t suppkeys : {20u, 100u, 1000u}) {
+    SsbConfig config;
+    config.num_rows = 10000;
+    config.distinct_orderkeys = 500;
+    config.distinct_suppkeys = suppkeys;
+    config.violating_fraction = 1.0;
+    config.error_rate = 0.1;
+
+    Database offline_db;
+    CheckOk(offline_db.AddTable(GenerateLineorder(config).dirty),
+            "add lineorder");
+    ConstraintSet rules;
+    CheckOk(rules.AddFromText(
+                "phi: FD orderkey -> suppkey", "lineorder",
+                offline_db.GetTable("lineorder").ValueOrDie()->schema()),
+            "parse rule");
+    auto queries = UnwrapOrDie(
+        MakeNonOverlappingRangeQueries(
+            *offline_db.GetTable("lineorder").ValueOrDie(), "orderkey", 50,
+            "orderkey, suppkey"),
+        "workload");
+    OfflineRun offline = RunOfflineWorkload(&offline_db, rules, queries);
+
+    Database daisy_db;
+    CheckOk(daisy_db.AddTable(GenerateLineorder(config).dirty),
+            "add lineorder");
+    DaisyOptions options;
+    options.mode = DaisyOptions::Mode::kAdaptive;
+    DaisyEngine engine(&daisy_db, CloneRules(rules), options);
+    CheckOk(engine.Prepare(), "prepare");
+    DaisyRun daisy = RunDaisyWorkload(&engine, queries);
+
+    std::printf("  %-10zu %14.3f %14.3f %14.3f %14.3f\n", suppkeys,
+                offline.clean_seconds, offline.query_seconds,
+                offline.total_seconds, daisy.total_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Operator-level microbenchmarks (google-benchmark): relaxation, FD
+// detection, theta-join detection with/without partition pruning
+// (ablation), FD repair, probabilistic filtering, and provenance merging.
+
+#include <benchmark/benchmark.h>
+
+#include "clean/statistics.h"
+#include "common/rng.h"
+#include "datagen/ssb.h"
+#include "detect/fd_detector.h"
+#include "detect/theta_join.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "relax/relaxation.h"
+#include "repair/fd_repair.h"
+
+namespace daisy {
+namespace {
+
+Table MakeLineorder(size_t rows, size_t orderkeys, size_t suppkeys) {
+  SsbConfig config;
+  config.num_rows = rows;
+  config.distinct_orderkeys = orderkeys;
+  config.distinct_suppkeys = suppkeys;
+  return GenerateLineorder(config).dirty;
+}
+
+DenialConstraint OrderFd(const Table& t) {
+  return ParseConstraint("phi: FD orderkey -> suppkey", t.name(), t.schema())
+      .ValueOrDie();
+}
+
+void BM_RelaxFdResult(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = MakeLineorder(rows, rows / 20, 50);
+  DenialConstraint dc = OrderFd(t);
+  std::vector<RowId> answer;
+  for (RowId r = 0; r < rows / 50; ++r) answer.push_back(r);
+  for (auto _ : state) {
+    RelaxResult res = RelaxFdResult(t, dc, answer);
+    benchmark::DoNotOptimize(res.extra.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_RelaxFdResult)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_FdDetection(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = MakeLineorder(rows, rows / 20, 50);
+  DenialConstraint dc = OrderFd(t);
+  const std::vector<RowId> all = t.AllRowIds();
+  for (auto _ : state) {
+    auto groups = DetectFdViolations(t, dc, all);
+    benchmark::DoNotOptimize(groups.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_FdDetection)->Arg(1000)->Arg(10000)->Arg(50000);
+
+Table MakeSalaryTable(size_t rows, double error_fraction) {
+  Rng rng(99);
+  Table t("emp", Schema({{"salary", ValueType::kDouble},
+                         {"tax", ValueType::kDouble}}));
+  for (size_t i = 0; i < rows; ++i) {
+    const double salary = rng.UniformDouble(1000, 100000);
+    double tax = salary / 200000.0;
+    if (rng.Bernoulli(error_fraction)) tax += rng.UniformDouble(0.1, 0.4);
+    (void)t.AppendRow({Value(salary), Value(tax)});
+  }
+  return t;
+}
+
+// Ablation: partitioned theta-join with and without boundary pruning.
+void BM_ThetaJoinDetectAll(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const bool pruning = state.range(1) != 0;
+  Table t = MakeSalaryTable(rows, 0.02);
+  auto dc = ParseConstraint("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                            "emp", t.schema())
+                .ValueOrDie();
+  for (auto _ : state) {
+    ThetaJoinDetector detector(&t, &dc, 32);
+    detector.set_pruning_enabled(pruning);
+    auto v = detector.DetectAll();
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetLabel(pruning ? "pruned" : "unpruned");
+}
+BENCHMARK(BM_ThetaJoinDetectAll)
+    ->Args({500, 1})
+    ->Args({500, 0})
+    ->Args({2000, 1})
+    ->Args({2000, 0});
+
+void BM_ThetaJoinIncremental(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = MakeSalaryTable(rows, 0.02);
+  auto dc = ParseConstraint("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                            "emp", t.schema())
+                .ValueOrDie();
+  std::vector<RowId> result;
+  for (RowId r = 0; r < rows / 10; ++r) result.push_back(r);
+  for (auto _ : state) {
+    ThetaJoinDetector detector(&t, &dc, 32);
+    auto v = detector.DetectIncremental(result);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_ThetaJoinIncremental)->Arg(1000)->Arg(4000);
+
+void BM_FdRepair(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table t = MakeLineorder(rows, rows / 20, 50);
+    DenialConstraint dc = OrderFd(t);
+    ProvenanceStore prov;
+    state.ResumeTiming();
+    auto stats = RepairFdViolations(&t, dc, t.AllRowIds(), &prov);
+    benchmark::DoNotOptimize(stats.ok());
+  }
+}
+BENCHMARK(BM_FdRepair)->Arg(1000)->Arg(10000);
+
+void BM_ProbabilisticFilter(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = MakeLineorder(rows, rows / 20, 50);
+  DenialConstraint dc = OrderFd(t);
+  ProvenanceStore prov;
+  (void)RepairFdViolations(&t, dc, t.AllRowIds(), &prov);
+  auto stmt =
+      ParseQuery("SELECT * FROM lineorder WHERE suppkey >= 10 AND suppkey <= 20")
+          .ValueOrDie();
+  const std::vector<RowId> all = t.AllRowIds();
+  for (auto _ : state) {
+    auto rows_out = FilterRows(t, stmt.where.get(), all);
+    benchmark::DoNotOptimize(rows_out.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ProbabilisticFilter)->Arg(1000)->Arg(10000);
+
+void BM_StatisticsCompute(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Database db;
+  (void)db.AddTable(MakeLineorder(rows, rows / 20, 50));
+  ConstraintSet rules;
+  (void)rules.AddFromText("phi: FD orderkey -> suppkey", "lineorder",
+                          db.GetTable("lineorder").ValueOrDie()->schema());
+  for (auto _ : state) {
+    Statistics stats;
+    benchmark::DoNotOptimize(stats.Compute(db, rules).ok());
+  }
+}
+BENCHMARK(BM_StatisticsCompute)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace daisy
+
+BENCHMARK_MAIN();

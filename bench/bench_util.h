@@ -1,0 +1,135 @@
+// Shared helpers for the figure/table reproduction benches: workload
+// runners for Daisy (incremental / adaptive), the offline baseline, and
+// series printing. Each bench binary prints the same rows/series the paper
+// plots; absolute numbers differ from the paper's Spark cluster, the shape
+// is what is reproduced (see EXPERIMENTS.md).
+
+#ifndef DAISY_BENCH_BENCH_UTIL_H_
+#define DAISY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "clean/daisy_engine.h"
+#include "common/timer.h"
+#include "offline/offline_cleaner.h"
+
+namespace daisy {
+namespace bench {
+
+/// Grows the heap and touches the pages once so that the first measured
+/// phase does not pay the allocator/page-fault warm-up.
+inline void WarmupHeap() {
+  std::vector<char*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    char* p = new char[2 << 20];
+    for (int j = 0; j < (2 << 20); j += 4096) p[j] = 1;
+    blocks.push_back(p);
+  }
+  for (char* p : blocks) delete[] p;
+}
+
+/// Aborts the bench on error (benches are generated-input only).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Copyable rule-set helper (ConstraintSet is copyable; this reads as
+/// intent at call sites).
+inline ConstraintSet CloneRules(const ConstraintSet& rules) { return rules; }
+
+/// Per-query timing of a workload through a prepared DaisyEngine.
+struct DaisyRun {
+  std::vector<double> per_query_seconds;
+  double total_seconds = 0;
+  size_t total_repaired = 0;
+  size_t switch_query = 0;  ///< 1-based query index of the cost-model
+                            ///< switch; 0 = never switched
+};
+
+inline DaisyRun RunDaisyWorkload(DaisyEngine* engine,
+                                 const std::vector<std::string>& queries) {
+  DaisyRun run;
+  run.per_query_seconds.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Timer t;
+    QueryReport report =
+        UnwrapOrDie(engine->Query(queries[i]), queries[i].c_str());
+    const double sec = t.ElapsedSeconds();
+    run.per_query_seconds.push_back(sec);
+    run.total_seconds += sec;
+    run.total_repaired += report.errors_fixed;
+    if (report.switched_to_full && run.switch_query == 0) {
+      run.switch_query = i + 1;
+    }
+  }
+  return run;
+}
+
+/// Offline baseline: full cleaning first, then the (plain) queries.
+struct OfflineRun {
+  double clean_seconds = 0;
+  std::vector<double> per_query_seconds;
+  double query_seconds = 0;
+  double total_seconds = 0;
+};
+
+inline OfflineRun RunOfflineWorkload(Database* db, const ConstraintSet& rules,
+                                     const std::vector<std::string>& queries) {
+  OfflineRun run;
+  Timer clean_timer;
+  OfflineCleaner cleaner(db, &rules);
+  (void)UnwrapOrDie(cleaner.CleanAll(), "offline CleanAll");
+  run.clean_seconds = clean_timer.ElapsedSeconds();
+  QueryExecutor exec(db);
+  for (const std::string& sql : queries) {
+    Timer t;
+    (void)UnwrapOrDie(exec.Execute(sql), sql.c_str());
+    const double sec = t.ElapsedSeconds();
+    run.per_query_seconds.push_back(sec);
+    run.query_seconds += sec;
+  }
+  run.total_seconds = run.clean_seconds + run.query_seconds;
+  return run;
+}
+
+/// Prints a cumulative-time series (one line per query) in a
+/// gnuplot-friendly layout: "<query> <series1> <series2> ...".
+inline void PrintCumulative(const std::vector<std::string>& names,
+                            const std::vector<std::vector<double>>& series) {
+  std::printf("# query");
+  for (const std::string& name : names) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  size_t len = 0;
+  for (const auto& s : series) len = std::max(len, s.size());
+  std::vector<double> cumulative(series.size(), 0.0);
+  for (size_t q = 0; q < len; ++q) {
+    std::printf("%zu", q + 1);
+    for (size_t s = 0; s < series.size(); ++s) {
+      if (q < series[s].size()) cumulative[s] += series[s][q];
+      std::printf(" %.4f", cumulative[s]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace daisy
+
+#endif  // DAISY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,203 @@
+#include "clean/clean_operators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "query/eval.h"
+#include "relax/relaxation.h"
+#include "repair/dc_repair.h"
+#include "repair/fd_repair.h"
+
+namespace daisy {
+
+CleanSelect::CleanSelect(Table* table, const DenialConstraint* dc,
+                         ProvenanceStore* provenance, const Statistics* stats,
+                         ThetaJoinDetector* theta)
+    : table_(table),
+      dc_(dc),
+      provenance_(provenance),
+      stats_(stats),
+      theta_(theta) {
+  checked_.assign(table_->num_rows(), false);
+}
+
+void CleanSelect::MarkChecked(const std::vector<RowId>& rows) {
+  for (RowId r : rows) {
+    if (!checked_[r]) {
+      checked_[r] = true;
+      ++checked_count_;
+    }
+  }
+}
+
+double CleanSelect::checked_fraction() const {
+  return checked_.empty()
+             ? 1.0
+             : static_cast<double>(checked_count_) /
+                   static_cast<double>(checked_.size());
+}
+
+Result<CleanSelectResult> CleanSelect::Run(
+    const Expr* filter, const std::vector<RowId>& dirty_result,
+    const CleaningOptions& options) {
+  if (dc_->IsFd()) return RunFd(filter, dirty_result, options);
+  return RunDc(filter, dirty_result, options);
+}
+
+Result<CleanSelectResult> CleanSelect::RunFd(
+    const Expr* filter, const std::vector<RowId>& dirty_result,
+    const CleaningOptions& options) {
+  CleanSelectResult out;
+  out.final_rows = dirty_result;
+
+  // Fast path 1: the whole result was already checked by this rule — its
+  // cells are final (Lemma 1) and the probabilistic filter semantics of the
+  // enclosing query already admit candidate qualifiers.
+  bool all_checked = true;
+  for (RowId r : dirty_result) {
+    if (!checked_[r]) {
+      all_checked = false;
+      break;
+    }
+  }
+  if (all_checked && !dirty_result.empty()) {
+    out.pruned = true;
+    return out;
+  }
+
+  // Fast path 2: statistics pruning — the result touches no dirty group.
+  if (options.use_statistics_pruning && stats_ != nullptr &&
+      !stats_->RowsTouchDirty(*table_, *dc_, dirty_result)) {
+    out.pruned = true;
+    MarkChecked(dirty_result);
+    return out;
+  }
+
+  // (a) relax: correlated tuples via Algorithm 1, served from the per-rule
+  // correlation index (built once over the immutable original values).
+  if (relax_index_ == nullptr) {
+    relax_index_ = std::make_unique<FdRelaxIndex>(*table_, dc_->fd());
+  }
+  const FdRuleStats* rule_stats =
+      stats_ != nullptr ? stats_->ForRule(dc_->name()) : nullptr;
+  FdRelaxIndex::DirtyFilter dirty_filter;
+  const FdRelaxIndex::DirtyFilter* filter_ptr = nullptr;
+  if (options.use_statistics_pruning && rule_stats != nullptr) {
+    dirty_filter.lhs_keys = &rule_stats->dirty_lhs_keys;
+    dirty_filter.already_checked = &checked_;
+    filter_ptr = &dirty_filter;
+  }
+  RelaxResult relaxed =
+      relax_index_->Relax(*table_, dc_->fd(), dirty_result, filter_ptr);
+  out.extra_tuples = relaxed.extra.size();
+  out.relax_iterations = relaxed.iterations;
+  out.tuples_scanned = relaxed.tuples_scanned;
+
+  // (b) detect + fix within the relaxed scope.
+  std::vector<RowId> scope = dirty_result;
+  scope.insert(scope.end(), relaxed.extra.begin(), relaxed.extra.end());
+  DAISY_ASSIGN_OR_RETURN(RepairStats stats,
+                         RepairFdViolations(table_, *dc_, scope, provenance_));
+  out.errors_fixed = stats.tuples_repaired;
+  out.detect_ops = scope.size();
+
+  // (c) the in-place update already happened through the provenance store;
+  // recompute the qualifying set: extras whose candidates may satisfy the
+  // filter now belong to the corrected result (Example 3).
+  DAISY_ASSIGN_OR_RETURN(std::vector<RowId> qualifying_extras,
+                         FilterRows(*table_, filter, relaxed.extra));
+  out.final_rows.insert(out.final_rows.end(), qualifying_extras.begin(),
+                        qualifying_extras.end());
+  std::sort(out.final_rows.begin(), out.final_rows.end());
+  out.final_rows.erase(
+      std::unique(out.final_rows.begin(), out.final_rows.end()),
+      out.final_rows.end());
+
+  MarkChecked(scope);
+  return out;
+}
+
+Result<CleanSelectResult> CleanSelect::RunDc(
+    const Expr* filter, const std::vector<RowId>& dirty_result,
+    const CleaningOptions& options) {
+  if (theta_ == nullptr) {
+    return Status::Internal("CleanSelect for a general DC needs a detector");
+  }
+  CleanSelectResult out;
+  out.final_rows = dirty_result;
+  theta_->set_pruning_enabled(options.theta_pruning);
+
+  if (theta_->FullyChecked()) {
+    out.pruned = true;
+    return out;
+  }
+
+  out.estimated_accuracy = theta_->EstimateAccuracy(dirty_result);
+  std::vector<ViolationPair> violations;
+  if (out.estimated_accuracy < options.accuracy_threshold) {
+    // Algorithm 2: predicted accuracy below threshold — clean everything.
+    violations = theta_->DetectAll();
+    out.used_full_clean = true;
+  } else {
+    std::vector<RowId> sorted_result = dirty_result;
+    std::sort(sorted_result.begin(), sorted_result.end());
+    violations = theta_->DetectIncremental(sorted_result);
+  }
+  out.detect_ops = theta_->pairs_checked();
+
+  DAISY_ASSIGN_OR_RETURN(
+      RepairStats stats,
+      RepairDcViolations(table_, *dc_, violations, provenance_));
+  out.errors_fixed = stats.tuples_repaired;
+
+  // Conflicting tuples outside the result whose candidate ranges may now
+  // satisfy the filter join the corrected result.
+  std::unordered_set<RowId> in_result(dirty_result.begin(),
+                                      dirty_result.end());
+  std::vector<RowId> outside;
+  for (const ViolationPair& v : violations) {
+    if (in_result.insert(v.t1).second) outside.push_back(v.t1);
+    if (in_result.insert(v.t2).second) outside.push_back(v.t2);
+  }
+  out.extra_tuples = outside.size();
+  DAISY_ASSIGN_OR_RETURN(std::vector<RowId> qualifying_extras,
+                         FilterRows(*table_, filter, outside));
+  out.final_rows.insert(out.final_rows.end(), qualifying_extras.begin(),
+                        qualifying_extras.end());
+  std::sort(out.final_rows.begin(), out.final_rows.end());
+  out.final_rows.erase(
+      std::unique(out.final_rows.begin(), out.final_rows.end()),
+      out.final_rows.end());
+
+  MarkChecked(dirty_result);
+  if (out.used_full_clean) MarkChecked(table_->AllRowIds());
+  return out;
+}
+
+Result<CleanSelectResult> CleanSelect::CleanRemaining(
+    const CleaningOptions& options) {
+  CleanSelectResult out;
+  if (dc_->IsFd()) {
+    // Repair every not-yet-checked tuple. The scope must include the whole
+    // table so candidate distributions are complete.
+    std::vector<RowId> all = table_->AllRowIds();
+    DAISY_ASSIGN_OR_RETURN(RepairStats stats,
+                           RepairFdViolations(table_, *dc_, all, provenance_));
+    out.errors_fixed = stats.tuples_repaired;
+    out.detect_ops = all.size();
+    MarkChecked(all);
+    return out;
+  }
+  theta_->set_pruning_enabled(options.theta_pruning);
+  std::vector<ViolationPair> violations = theta_->DetectAll();
+  out.detect_ops = theta_->pairs_checked();
+  DAISY_ASSIGN_OR_RETURN(
+      RepairStats stats,
+      RepairDcViolations(table_, *dc_, violations, provenance_));
+  out.errors_fixed = stats.tuples_repaired;
+  out.used_full_clean = true;
+  MarkChecked(table_->AllRowIds());
+  return out;
+}
+
+}  // namespace daisy

@@ -1,0 +1,101 @@
+// The cleaning operators woven into the query plan (Definitions 1-3).
+//
+// CleanSelect (cleanσ) takes a select operator's dirty result, relaxes it
+// (Algorithm 1 for FDs; partial theta-join for general DCs), detects and
+// repairs violations in the relaxed scope, updates the table in place, and
+// returns the corrected qualifying row set — which may now include tuples
+// whose candidate values qualify (Example 3).
+//
+// CleanJoin (clean⋈) cleans each join side's qualifying part with
+// CleanSelect and relies on Lemma 5: the updated join over the cleaned
+// parts needs no further violation checks.
+
+#ifndef DAISY_CLEAN_CLEAN_OPERATORS_H_
+#define DAISY_CLEAN_CLEAN_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "clean/statistics.h"
+#include "constraints/denial_constraint.h"
+#include "detect/theta_join.h"
+#include "query/ast.h"
+#include "relax/relaxation.h"
+#include "repair/provenance.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// Knobs shared by the cleaning operators.
+struct CleaningOptions {
+  /// Estimated-accuracy threshold below which a DC query falls back to full
+  /// cleaning (Algorithm 2 / Fig. 10).
+  double accuracy_threshold = 0.5;
+  /// Skip cleaning when the result provably touches no dirty group.
+  bool use_statistics_pruning = true;
+  /// Partition-prune the theta-join matrix (ablation switch).
+  bool theta_pruning = true;
+};
+
+/// Counters reported by one cleanσ invocation.
+struct CleanSelectResult {
+  std::vector<RowId> final_rows;   ///< corrected qualifying rows
+  size_t extra_tuples = 0;         ///< |E(Q)|: relaxation extras
+  size_t errors_fixed = 0;         ///< ε_i: tuples repaired
+  size_t relax_iterations = 0;
+  size_t detect_ops = 0;           ///< comparisons performed
+  size_t tuples_scanned = 0;       ///< unseen tuples visited by relaxation
+  double estimated_accuracy = 1.0; ///< DC path only
+  bool used_full_clean = false;    ///< DC accuracy fallback fired
+  bool pruned = false;             ///< statistics pruning skipped cleaning
+};
+
+/// cleanσ bound to one table and one rule. The per-rule checked bookkeeping
+/// lives here and persists across queries (Section 4.3: "Daisy maintains
+/// information about the already checked tuples by each rule").
+class CleanSelect {
+ public:
+  /// For general (non-FD) DCs pass a persistent ThetaJoinDetector; FDs pass
+  /// nullptr. `table`, `dc`, `provenance`, `stats`, `theta` must outlive
+  /// the operator.
+  CleanSelect(Table* table, const DenialConstraint* dc,
+              ProvenanceStore* provenance, const Statistics* stats,
+              ThetaJoinDetector* theta);
+
+  /// Runs relax -> detect -> repair -> update for a select result.
+  /// `filter` is the query's predicate on this table (nullable); it is
+  /// re-applied to relaxation extras to admit new probabilistic qualifiers.
+  Result<CleanSelectResult> Run(const Expr* filter,
+                                const std::vector<RowId>& dirty_result,
+                                const CleaningOptions& options);
+
+  /// Cleans everything not yet checked (the cost-model switch target).
+  Result<CleanSelectResult> CleanRemaining(const CleaningOptions& options);
+
+  /// Fraction of rows already checked by this rule.
+  double checked_fraction() const;
+  bool fully_checked() const { return checked_count_ == checked_.size(); }
+
+ private:
+  Result<CleanSelectResult> RunFd(const Expr* filter,
+                                  const std::vector<RowId>& dirty_result,
+                                  const CleaningOptions& options);
+  Result<CleanSelectResult> RunDc(const Expr* filter,
+                                  const std::vector<RowId>& dirty_result,
+                                  const CleaningOptions& options);
+  void MarkChecked(const std::vector<RowId>& rows);
+
+  Table* table_;
+  const DenialConstraint* dc_;
+  ProvenanceStore* provenance_;
+  const Statistics* stats_;
+  ThetaJoinDetector* theta_;
+  /// Lazily built correlation index over the FD's original values.
+  std::unique_ptr<FdRelaxIndex> relax_index_;
+  std::vector<bool> checked_;
+  size_t checked_count_ = 0;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_CLEAN_CLEAN_OPERATORS_H_

@@ -1,0 +1,44 @@
+#include "clean/cost_model.h"
+
+#include <algorithm>
+
+namespace daisy {
+
+void CostModel::RecordQuery(const QueryCostSample& s) {
+  const double n = static_cast<double>(s.dataset_size);
+  // relax_i: unseen tuples scanned this query.
+  const double relax =
+      std::max(0.0, n - static_cast<double>(std::min<size_t>(sum_q_, s.dataset_size)));
+  // detect_i: measured when available, else q_i + e_i.
+  const double detect = s.detect_ops > 0
+                            ? static_cast<double>(s.detect_ops)
+                            : static_cast<double>(s.result_size + s.extra_size);
+  // repair_i = ε_i (q_i + e_i).
+  const double repair = static_cast<double>(s.errors) *
+                        static_cast<double>(s.result_size + s.extra_size);
+  // update_i = n - Σε_j + Σε_j·p + ε_i·p.
+  const double update =
+      std::max(0.0, n - static_cast<double>(sum_errors_)) +
+      static_cast<double>(sum_errors_) * s.candidate_width +
+      static_cast<double>(s.errors) * s.candidate_width;
+  cumulative_ += relax + detect + repair + update;
+  ++queries_;
+  sum_q_ += s.result_size;
+  sum_errors_ += s.errors;
+}
+
+double CostModel::OfflineEstimate(size_t n, size_t groups, size_t epsilon,
+                                  double p) const {
+  const double nd = static_cast<double>(n);
+  const double ed = static_cast<double>(epsilon);
+  const double gd = static_cast<double>(groups);
+  const double detect_full = nd;  // hash group-by over the dataset
+  return detect_full + gd * nd + nd + ed * p;
+}
+
+bool CostModel::ShouldSwitchToFull(size_t n, size_t groups, size_t epsilon,
+                                   double p) const {
+  return cumulative_ >= OfflineEstimate(n, groups, epsilon, p);
+}
+
+}  // namespace daisy

@@ -1,0 +1,241 @@
+#include "clean/daisy_engine.h"
+
+#include <algorithm>
+
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace daisy {
+
+DaisyEngine::DaisyEngine(Database* db, ConstraintSet constraints,
+                         DaisyOptions options)
+    : db_(db), constraints_(std::move(constraints)), options_(options) {}
+
+Status DaisyEngine::Prepare() {
+  DAISY_RETURN_IF_ERROR(statistics_.Compute(*db_, constraints_));
+  rules_.clear();
+  provenance_.clear();
+  for (const DenialConstraint& dc : constraints_.all()) {
+    DAISY_ASSIGN_OR_RETURN(Table * table, db_->GetTable(dc.table()));
+    RuleState state;
+    state.dc = &dc;
+    state.table = table;
+    ProvenanceStore* prov = &provenance_[dc.table()];
+    if (!dc.IsFd()) {
+      state.theta = std::make_unique<ThetaJoinDetector>(
+          table, &dc, options_.theta_partitions);
+    }
+    state.op = std::make_unique<CleanSelect>(table, &dc, prov, &statistics_,
+                                             state.theta.get());
+    rules_.emplace(dc.name(), std::move(state));
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+CleaningOptions DaisyEngine::MakeCleaningOptions() const {
+  CleaningOptions opts;
+  opts.accuracy_threshold = options_.accuracy_threshold;
+  opts.use_statistics_pruning = options_.use_statistics_pruning;
+  opts.theta_pruning = options_.theta_pruning;
+  return opts;
+}
+
+namespace {
+
+void CollectExprColumns(const Expr& expr, const Table& table,
+                        std::vector<size_t>* cols) {
+  switch (expr.kind) {
+    case Expr::Kind::kCmp: {
+      auto add = [&](const ColumnRef& ref) {
+        if (!ref.table.empty() && ref.table != table.name()) return;
+        auto idx = table.schema().ColumnIndex(ref.column);
+        if (idx.ok()) cols->push_back(idx.value());
+      };
+      add(expr.left);
+      if (expr.right_is_column) add(expr.right_col);
+      break;
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      for (const auto& child : expr.children) {
+        CollectExprColumns(*child, table, cols);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> DaisyEngine::QueryColumnsForTable(
+    const SelectStmt& stmt, const Table& table, const SplitWhere& split,
+    size_t table_idx) const {
+  std::vector<size_t> cols;
+  // Select list (star = every column).
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.star) {
+      for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+        cols.push_back(c);
+      }
+      continue;
+    }
+    if (!item.col.table.empty() && item.col.table != table.name()) continue;
+    auto idx = table.schema().ColumnIndex(item.col.column);
+    if (idx.ok()) cols.push_back(idx.value());
+  }
+  // WHERE leaves.
+  if (stmt.where != nullptr) CollectExprColumns(*stmt.where, table, &cols);
+  // Join keys.
+  for (const SplitWhere::JoinPred& p : split.joins) {
+    if (p.left_table == table_idx) cols.push_back(p.left_col);
+    if (p.right_table == table_idx) cols.push_back(p.right_col);
+  }
+  // Group-by columns.
+  for (const ColumnRef& ref : stmt.group_by) {
+    if (!ref.table.empty() && ref.table != table.name()) continue;
+    auto idx = table.schema().ColumnIndex(ref.column);
+    if (idx.ok()) cols.push_back(idx.value());
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+Result<QueryReport> DaisyEngine::Query(const std::string& sql) {
+  DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  return Query(stmt);
+}
+
+Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
+  if (!prepared_) {
+    return Status::Internal("DaisyEngine::Prepare() must be called first");
+  }
+  std::vector<Table*> tables;
+  std::vector<const Table*> const_tables;
+  for (const std::string& name : stmt.tables) {
+    DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(name));
+    tables.push_back(t);
+    const_tables.push_back(t);
+  }
+  if (tables.empty()) return Status::InvalidArgument("no FROM tables");
+  DAISY_ASSIGN_OR_RETURN(SplitWhere split,
+                         SplitWhereClause(stmt, const_tables));
+
+  QueryReport report;
+  const CleaningOptions clean_opts = MakeCleaningOptions();
+
+  // Per-table: filter, then inject cleanσ for every overlapping rule.
+  std::vector<std::vector<RowId>> qualifying(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    Table* table = tables[i];
+    const Expr* filter = split.table_filters[i].get();
+    DAISY_ASSIGN_OR_RETURN(qualifying[i],
+                           FilterRows(*table, filter, table->AllRowIds()));
+
+    DAISY_ASSIGN_OR_RETURN(std::vector<size_t> query_cols,
+                           QueryColumnsForTable(stmt, *table, split, i));
+    const std::vector<const DenialConstraint*> overlapping =
+        constraints_.Overlapping(table->name(), query_cols);
+    for (const DenialConstraint* dc : overlapping) {
+      RuleState& state = rules_.at(dc->name());
+      DAISY_ASSIGN_OR_RETURN(
+          CleanSelectResult cres,
+          state.op->Run(filter, qualifying[i], clean_opts));
+      qualifying[i] = cres.final_rows;
+      ++report.rules_applied;
+      if (cres.pruned) ++report.rules_pruned;
+      report.extra_tuples += cres.extra_tuples;
+      report.errors_fixed += cres.errors_fixed;
+      report.tuples_scanned += cres.tuples_scanned;
+      report.detect_ops += cres.detect_ops;
+      report.used_dc_full_clean |= cres.used_full_clean;
+      report.min_estimated_accuracy =
+          std::min(report.min_estimated_accuracy, cres.estimated_accuracy);
+
+      // Cost-model bookkeeping and the adaptive switch (Section 5.2.3).
+      // Pruned invocations did no relaxation/repair work and accrue no
+      // incremental cost.
+      const FdRuleStats* rstats = statistics_.ForRule(dc->name());
+      const double width = rstats != nullptr ? rstats->avg_candidates : 2.0;
+      if (!cres.pruned) {
+        QueryCostSample sample;
+        sample.dataset_size = table->num_rows();
+        sample.result_size = qualifying[i].size();
+        sample.extra_size = cres.extra_tuples;
+        sample.errors = cres.errors_fixed;
+        sample.detect_ops = cres.detect_ops;
+        sample.candidate_width = width;
+        state.cost.RecordQuery(sample);
+      }
+      if (options_.mode == DaisyOptions::Mode::kAdaptive &&
+          !state.op->fully_checked()) {
+        const size_t epsilon = rstats != nullptr
+                                   ? rstats->num_violating_rows
+                                   : table->num_rows() / 10;
+        const size_t groups = rstats != nullptr
+                                  ? rstats->num_violating_groups
+                                  : std::max<size_t>(1, epsilon / 10);
+        if (state.cost.ShouldSwitchToFull(table->num_rows(), groups, epsilon,
+                                          width)) {
+          DAISY_ASSIGN_OR_RETURN(CleanSelectResult fres,
+                                 state.op->CleanRemaining(clean_opts));
+          report.switched_to_full = true;
+          report.errors_fixed += fres.errors_fixed;
+          // Recompute the qualifying rows over the now-clean table.
+          DAISY_ASSIGN_OR_RETURN(
+              qualifying[i],
+              FilterRows(*table, filter, table->AllRowIds()));
+        }
+      }
+    }
+  }
+
+  // clean⋈ (Definition 3): both sides are clean at this point; by Lemma 5
+  // the join over the cleaned qualifying parts needs no extra checks. The
+  // incremental-join update is subsumed by joining the corrected row sets.
+  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
+                         JoinTables(const_tables, qualifying, split.joins));
+  DAISY_ASSIGN_OR_RETURN(
+      report.output,
+      QueryExecutor::BuildOutput(stmt, const_tables, std::move(joined)));
+  return report;
+}
+
+Status DaisyEngine::CleanAllRemaining() {
+  if (!prepared_) return Status::Internal("Prepare() must be called first");
+  const CleaningOptions clean_opts = MakeCleaningOptions();
+  for (auto& [name, state] : rules_) {
+    if (state.op->fully_checked()) continue;
+    DAISY_ASSIGN_OR_RETURN(CleanSelectResult res,
+                           state.op->CleanRemaining(clean_opts));
+    (void)res;
+  }
+  return Status::OK();
+}
+
+Status DaisyEngine::ImportProvenance(const std::string& table,
+                                     const ProvenanceStore& store) {
+  if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  provenance_[table].MergeFrom(store, t);
+  return Status::OK();
+}
+
+Result<bool> DaisyEngine::RuleFullyChecked(const std::string& rule) const {
+  auto it = rules_.find(rule);
+  if (it == rules_.end()) return Status::NotFound("no rule '" + rule + "'");
+  return it->second.op->fully_checked();
+}
+
+const CostModel* DaisyEngine::cost_model(const std::string& rule) const {
+  auto it = rules_.find(rule);
+  return it == rules_.end() ? nullptr : &it->second.cost;
+}
+
+const ProvenanceStore* DaisyEngine::provenance(
+    const std::string& table) const {
+  auto it = provenance_.find(table);
+  return it == provenance_.end() ? nullptr : &it->second;
+}
+
+}  // namespace daisy

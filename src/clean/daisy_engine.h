@@ -1,0 +1,124 @@
+// DaisyEngine — the public entry point of the library.
+//
+// A DaisyEngine wraps a dirty Database plus a ConstraintSet and executes
+// SPJ / group-by queries whose plans are augmented with cleaning operators
+// (Section 6). Each query incrementally repairs the data it touches,
+// turning the dataset into a probabilistic dataset; the per-rule cost model
+// can decide mid-workload to clean the remaining dirty part wholesale.
+//
+// Typical use:
+//
+//   Database db; ... load tables ...
+//   ConstraintSet rules;
+//   rules.AddFromText("phi: FD zip -> city", "cities", schema);
+//   DaisyEngine daisy(&db, std::move(rules), DaisyOptions{});
+//   daisy.Prepare();
+//   auto report = daisy.Query("SELECT zip FROM cities WHERE city = 'LA'");
+
+#ifndef DAISY_CLEAN_DAISY_ENGINE_H_
+#define DAISY_CLEAN_DAISY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clean/clean_operators.h"
+#include "clean/cost_model.h"
+#include "clean/statistics.h"
+#include "constraints/constraint_set.h"
+#include "query/executor.h"
+#include "storage/database.h"
+
+namespace daisy {
+
+/// Engine configuration.
+struct DaisyOptions {
+  enum class Mode {
+    kIncremental,  ///< always clean on demand (Daisy w/o cost model)
+    kAdaptive,     ///< cost model may switch to full cleaning (Daisy)
+  };
+  Mode mode = Mode::kAdaptive;
+  /// DC estimated-accuracy threshold (Algorithm 2 fallback).
+  double accuracy_threshold = 0.5;
+  /// Theta-join matrix partitions (p).
+  size_t theta_partitions = 16;
+  bool use_statistics_pruning = true;
+  bool theta_pruning = true;
+};
+
+/// Per-query execution report: the corrected output plus the cleaning
+/// counters the benches plot.
+struct QueryReport {
+  QueryOutput output;
+  size_t extra_tuples = 0;       ///< Σ |E(Q)| over applied rules
+  size_t errors_fixed = 0;       ///< tuples repaired during this query
+  size_t tuples_scanned = 0;     ///< relaxation scan volume
+  size_t detect_ops = 0;         ///< violation-check comparisons
+  size_t rules_applied = 0;      ///< cleaning operators injected
+  size_t rules_pruned = 0;       ///< skipped via statistics/checked state
+  bool switched_to_full = false; ///< cost model fired this query
+  bool used_dc_full_clean = false;
+  double min_estimated_accuracy = 1.0;
+};
+
+/// Query-driven cleaning engine.
+class DaisyEngine {
+ public:
+  /// `db` must outlive the engine. Constraints are moved in.
+  DaisyEngine(Database* db, ConstraintSet constraints,
+              DaisyOptions options = {});
+
+  /// Precomputes statistics and builds the per-rule operators. Must be
+  /// called before Query().
+  Status Prepare();
+
+  /// Parses and executes `sql`, weaving cleanσ/clean⋈ into the plan.
+  Result<QueryReport> Query(const std::string& sql);
+  Result<QueryReport> Query(const SelectStmt& stmt);
+
+  /// Cleans every remaining dirty tuple for all rules (manual switch).
+  Status CleanAllRemaining();
+
+  /// Merges previously recorded repairs (e.g. from an earlier session with
+  /// a different rule set) into this engine's provenance for `table`,
+  /// rebuilding the affected cells. Call after Prepare().
+  Status ImportProvenance(const std::string& table,
+                          const ProvenanceStore& store);
+
+  /// True once `rule` has checked every tuple of its table.
+  Result<bool> RuleFullyChecked(const std::string& rule) const;
+
+  const ConstraintSet& constraints() const { return constraints_; }
+  const Statistics& statistics() const { return statistics_; }
+  const CostModel* cost_model(const std::string& rule) const;
+  const ProvenanceStore* provenance(const std::string& table) const;
+  Database* database() { return db_; }
+  const DaisyOptions& options() const { return options_; }
+
+ private:
+  struct RuleState {
+    const DenialConstraint* dc = nullptr;
+    Table* table = nullptr;
+    std::unique_ptr<ThetaJoinDetector> theta;  ///< general DCs only
+    std::unique_ptr<CleanSelect> op;
+    CostModel cost;
+  };
+
+  CleaningOptions MakeCleaningOptions() const;
+  Result<std::vector<size_t>> QueryColumnsForTable(
+      const SelectStmt& stmt, const Table& table,
+      const SplitWhere& split, size_t table_idx) const;
+
+  Database* db_;
+  ConstraintSet constraints_;
+  DaisyOptions options_;
+  Statistics statistics_;
+  std::map<std::string, RuleState> rules_;          ///< by rule name
+  std::map<std::string, ProvenanceStore> provenance_;  ///< by table name
+  bool prepared_ = false;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_CLEAN_DAISY_ENGINE_H_

@@ -1,0 +1,58 @@
+#include "clean/statistics.h"
+
+#include "detect/fd_detector.h"
+
+namespace daisy {
+
+Status Statistics::Compute(const Database& db,
+                           const ConstraintSet& constraints) {
+  per_rule_.clear();
+  for (const DenialConstraint& dc : constraints.all()) {
+    if (!dc.IsFd()) continue;
+    DAISY_ASSIGN_OR_RETURN(const Table* table, db.GetTable(dc.table()));
+    FdRuleStats stats;
+    stats.rule = dc.name();
+    stats.table_rows = table->num_rows();
+    const std::vector<FdGroup> groups =
+        DetectFdViolations(*table, dc, table->AllRowIds(), false);
+    size_t candidate_sum = 0;
+    for (const FdGroup& g : groups) {
+      ++stats.num_violating_groups;
+      stats.num_violating_rows += g.total();
+      candidate_sum += g.rhs_histogram.size();
+      stats.dirty_lhs_keys.insert(g.lhs_key);
+      for (const auto& [value, _] : g.rhs_histogram) {
+        stats.dirty_rhs_vals.insert(value);
+      }
+    }
+    stats.avg_candidates =
+        groups.empty() ? 1.0
+                       : static_cast<double>(candidate_sum) /
+                             static_cast<double>(groups.size());
+    per_rule_.emplace(dc.name(), std::move(stats));
+  }
+  return Status::OK();
+}
+
+const FdRuleStats* Statistics::ForRule(const std::string& rule) const {
+  auto it = per_rule_.find(rule);
+  return it == per_rule_.end() ? nullptr : &it->second;
+}
+
+bool Statistics::RowsTouchDirty(const Table& table, const DenialConstraint& dc,
+                                const std::vector<RowId>& rows) const {
+  const FdRuleStats* stats = ForRule(dc.name());
+  if (stats == nullptr) return true;  // unknown -> cannot prune
+  const FdView& fd = dc.fd();
+  for (RowId r : rows) {
+    if (stats->dirty_lhs_keys.count(MakeGroupKey(table, r, fd.lhs)) > 0) {
+      return true;
+    }
+    if (stats->dirty_rhs_vals.count(table.cell(r, fd.rhs).original()) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace daisy

@@ -1,0 +1,60 @@
+// Precomputed statistics driving the cost model and the dirty-group pruning
+// (Section 5.2.3 / Fig. 9: "Daisy avoids detecting violations when the
+// entity does not belong to the list of dirty values").
+//
+// For every FD rule, a group-by on the lhs yields the violating groups; the
+// dirty lhs keys / rhs values, the violating row count (the paper's ε), and
+// the average candidate-set width (the paper's p) are retained.
+
+#ifndef DAISY_CLEAN_STATISTICS_H_
+#define DAISY_CLEAN_STATISTICS_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "detect/group_by.h"
+#include "storage/database.h"
+
+namespace daisy {
+
+/// Per-FD-rule statistics.
+struct FdRuleStats {
+  std::string rule;
+  size_t table_rows = 0;
+  size_t num_violating_rows = 0;    ///< ε: tuples in violating groups
+  size_t num_violating_groups = 0;
+  double avg_candidates = 1.0;      ///< p: mean distinct rhs per dirty group
+
+  /// lhs keys of violating groups (pruning: is the accessed key dirty?).
+  std::unordered_set<GroupKey, GroupKeyHash, GroupKeyEq> dirty_lhs_keys;
+  /// rhs values appearing inside violating groups.
+  std::unordered_set<Value, ValueHash> dirty_rhs_vals;
+};
+
+/// Statistics catalog for all FD rules of a session.
+class Statistics {
+ public:
+  Statistics() = default;
+
+  /// Precomputes group-bys for every FD constraint (general DCs get their
+  /// estimates from the theta-join partitions instead).
+  Status Compute(const Database& db, const ConstraintSet& constraints);
+
+  /// Stats for `rule`, or nullptr if not an FD rule / not computed.
+  const FdRuleStats* ForRule(const std::string& rule) const;
+
+  /// True if any of `rows` touches a dirty group of `dc` (lhs key or rhs
+  /// value). Used to skip relaxation/cleaning entirely for clean regions.
+  bool RowsTouchDirty(const Table& table, const DenialConstraint& dc,
+                      const std::vector<RowId>& rows) const;
+
+ private:
+  std::unordered_map<std::string, FdRuleStats> per_rule_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_CLEAN_STATISTICS_H_

@@ -1,0 +1,104 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+namespace daisy {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cur.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!cur.empty()) {
+        return Status::ParseError("unexpected quote mid-field in: " + line);
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      ++i;
+      continue;
+    }
+    cur.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field in: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    const std::string& f = fields[i];
+    const bool needs_quote = f.find(sep) != std::string::npos ||
+                             f.find('"') != std::string::npos ||
+                             f.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    DAISY_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           ParseCsvLine(line, sep));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char sep) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open file for write: " + path);
+  for (const auto& row : rows) {
+    out << FormatCsvLine(row, sep) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace daisy

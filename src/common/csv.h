@@ -1,0 +1,35 @@
+// Minimal RFC-4180-style CSV reading and writing. Used to load the synthetic
+// datasets from disk in examples, and to persist probabilistic snapshots.
+
+#ifndef DAISY_COMMON_CSV_H_
+#define DAISY_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace daisy {
+
+/// Parses one CSV line into fields. Supports double-quoted fields with
+/// embedded separators and doubled quotes ("" -> ").
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char sep = ',');
+
+/// Renders fields as one CSV line, quoting where needed.
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char sep = ',');
+
+/// Reads a whole CSV file into rows of string fields. Rows may not span
+/// physical lines (no embedded newlines).
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep = ',');
+
+/// Writes rows to `path`, overwriting.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char sep = ',');
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_CSV_H_

@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace daisy {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  // Inverse-CDF sampling over the (unnormalized) Zipf pmf. n is small in all
+  // generator uses (distinct-value counts), so a linear pass is fine.
+  double norm = 0.0;
+  for (size_t r = 0; r < n; ++r) norm += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  double u = UniformDouble(0.0, norm);
+  for (size_t r = 0; r < n; ++r) {
+    u -= 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (u <= 0.0) return r;
+  }
+  return n - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first k slots end up a uniform k-subset.
+  for (size_t i = 0; i < k && i + 1 < n; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n - i) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace daisy

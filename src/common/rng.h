@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for data generators, error
+// injection, and property tests. All randomness in Daisy flows through Rng so
+// that experiments are reproducible from a seed.
+
+#ifndef DAISY_COMMON_RNG_H_
+#define DAISY_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace daisy {
+
+/// A seeded Mersenne-Twister wrapper with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Zipf-like skewed index in [0, n): rank r is proportional to 1/(r+1)^s.
+  /// Used to synthesize skewed attribute frequency distributions.
+  size_t Zipf(size_t n, double s);
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_RNG_H_

@@ -1,0 +1,160 @@
+// Status and Result<T>: error-handling primitives used across Daisy.
+//
+// Daisy follows the Arrow/RocksDB idiom: fallible functions return a Status
+// (or a Result<T> carrying either a value or a Status) instead of throwing
+// exceptions. Exceptions are never thrown across module boundaries.
+
+#ifndef DAISY_COMMON_STATUS_H_
+#define DAISY_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace daisy {
+
+// Machine-readable error category. Keep this list short; the message carries
+// the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kTypeMismatch,
+  kIOError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The outcome of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a T or an error Status. Access via ok()/value()/status().
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : var_(std::move(value)) {}
+  /* implicit */ Result(Status status) : var_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Requires ok(). Undefined behaviour otherwise (asserted in debug).
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  /// Requires !ok() to return a meaningful error; returns OK when ok().
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  /// Returns the value or dies with the error message (for tests/examples).
+  const T& ValueOrDie() const&;
+  T&& ValueOrDie() &&;
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) internal::DieOnBadResult(status());
+  return value();
+}
+
+template <typename T>
+T&& Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::move(*this).value();
+}
+
+// Propagate errors out of the current function.
+#define DAISY_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::daisy::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define DAISY_CONCAT_IMPL(a, b) a##b
+#define DAISY_CONCAT(a, b) DAISY_CONCAT_IMPL(a, b)
+
+// Evaluate a Result-returning expression; bind the value or propagate.
+#define DAISY_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto DAISY_CONCAT(_res_, __LINE__) = (expr);                \
+  if (!DAISY_CONCAT(_res_, __LINE__).ok())                    \
+    return DAISY_CONCAT(_res_, __LINE__).status();            \
+  lhs = std::move(DAISY_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_STATUS_H_

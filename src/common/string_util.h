@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef DAISY_COMMON_STRING_UTIL_H_
+#define DAISY_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace daisy {
+
+/// Splits `text` on `sep`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// True if `text` begins with `prefix` (case-sensitive).
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing for benches and the cost model's observed-cost feedback.
+
+#ifndef DAISY_COMMON_TIMER_H_
+#define DAISY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace daisy {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_TIMER_H_

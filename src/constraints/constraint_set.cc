@@ -1,0 +1,56 @@
+#include "constraints/constraint_set.h"
+
+namespace daisy {
+
+Status ConstraintSet::Add(DenialConstraint dc) {
+  for (const DenialConstraint& existing : constraints_) {
+    if (existing.name() == dc.name()) {
+      return Status::AlreadyExists("constraint '" + dc.name() +
+                                   "' already defined");
+    }
+  }
+  constraints_.push_back(std::move(dc));
+  return Status::OK();
+}
+
+Status ConstraintSet::AddFromText(const std::string& text,
+                                  const std::string& table,
+                                  const Schema& schema) {
+  DAISY_ASSIGN_OR_RETURN(DenialConstraint dc,
+                         ParseConstraint(text, table, schema));
+  return Add(std::move(dc));
+}
+
+std::vector<const DenialConstraint*> ConstraintSet::ForTable(
+    const std::string& table) const {
+  std::vector<const DenialConstraint*> out;
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.table() == table) out.push_back(&dc);
+  }
+  return out;
+}
+
+std::vector<const DenialConstraint*> ConstraintSet::Overlapping(
+    const std::string& table, const std::vector<size_t>& columns) const {
+  std::vector<const DenialConstraint*> out;
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.table() != table) continue;
+    for (size_t col : columns) {
+      if (dc.InvolvesColumn(col)) {
+        out.push_back(&dc);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<const DenialConstraint*> ConstraintSet::FindByName(
+    const std::string& name) const {
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.name() == name) return &dc;
+  }
+  return Status::NotFound("no constraint named '" + name + "'");
+}
+
+}  // namespace daisy

@@ -1,0 +1,49 @@
+// A collection of denial constraints, indexed by table and by column.
+
+#ifndef DAISY_CONSTRAINTS_CONSTRAINT_SET_H_
+#define DAISY_CONSTRAINTS_CONSTRAINT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/denial_constraint.h"
+
+namespace daisy {
+
+/// Owns all constraints of a cleaning session. Lookup helpers answer the
+/// planner's central question: "does this query attribute overlap a rule?"
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  /// Adds a constraint. Names must be unique.
+  Status Add(DenialConstraint dc);
+
+  /// Parses and adds (see ParseConstraint).
+  Status AddFromText(const std::string& text, const std::string& table,
+                     const Schema& schema);
+
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+  const std::vector<DenialConstraint>& all() const { return constraints_; }
+  const DenialConstraint& at(size_t i) const { return constraints_[i]; }
+
+  /// Constraints bound to `table`.
+  std::vector<const DenialConstraint*> ForTable(
+      const std::string& table) const;
+
+  /// Constraints on `table` that involve any of `columns`
+  /// ((X∪Y) ∩ (P∪W) ≠ ∅ in the paper).
+  std::vector<const DenialConstraint*> Overlapping(
+      const std::string& table, const std::vector<size_t>& columns) const;
+
+  Result<const DenialConstraint*> FindByName(const std::string& name) const;
+
+ private:
+  std::vector<DenialConstraint> constraints_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_CONSTRAINTS_CONSTRAINT_SET_H_

@@ -1,0 +1,306 @@
+#include "constraints/denial_constraint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace daisy {
+
+DenialConstraint::DenialConstraint(std::string name, std::string table,
+                                   int num_tuples,
+                                   std::vector<PredicateAtom> atoms)
+    : name_(std::move(name)),
+      table_(std::move(table)),
+      num_tuples_(num_tuples),
+      atoms_(std::move(atoms)) {
+  DetectFd();
+  ComputeInvolvedColumns();
+}
+
+void DenialConstraint::DetectFd() {
+  fd_view_.reset();
+  if (num_tuples_ != 2 || atoms_.empty()) return;
+  // FD shape: every atom relates t1.c with t2.c on the *same* column; all
+  // but exactly one are ==, the remaining one is !=.
+  FdView view;
+  size_t neq_count = 0;
+  for (const PredicateAtom& a : atoms_) {
+    if (a.right_is_constant) return;
+    if (a.left_tuple == a.right_tuple) return;
+    if (a.left_column != a.right_column) return;
+    if (a.op == CompareOp::kEq) {
+      view.lhs.push_back(a.left_column);
+      view.lhs_names.push_back(a.left_column_name);
+    } else if (a.op == CompareOp::kNeq) {
+      ++neq_count;
+      view.rhs = a.left_column;
+      view.rhs_name = a.left_column_name;
+    } else {
+      return;
+    }
+  }
+  if (neq_count != 1 || view.lhs.empty()) return;
+  fd_view_ = std::move(view);
+}
+
+void DenialConstraint::ComputeInvolvedColumns() {
+  involved_columns_.clear();
+  for (const PredicateAtom& a : atoms_) {
+    involved_columns_.push_back(a.left_column);
+    if (!a.right_is_constant) involved_columns_.push_back(a.right_column);
+  }
+  std::sort(involved_columns_.begin(), involved_columns_.end());
+  involved_columns_.erase(
+      std::unique(involved_columns_.begin(), involved_columns_.end()),
+      involved_columns_.end());
+}
+
+bool DenialConstraint::IsEqualityOnly() const {
+  for (const PredicateAtom& a : atoms_) {
+    if (a.op != CompareOp::kEq && a.op != CompareOp::kNeq) return false;
+  }
+  return true;
+}
+
+bool DenialConstraint::InvolvesColumn(size_t col) const {
+  return std::binary_search(involved_columns_.begin(), involved_columns_.end(),
+                            col);
+}
+
+namespace {
+
+const Value& AtomOperand(const Table& table, RowId a, RowId b, int tuple,
+                         size_t column) {
+  const RowId r = tuple == 0 ? a : b;
+  return table.cell(r, column).original();
+}
+
+}  // namespace
+
+bool DenialConstraint::ViolatedBy(const Table& table, RowId a, RowId b) const {
+  if (num_tuples_ == 2 && a == b) return false;
+  for (const PredicateAtom& atom : atoms_) {
+    const Value& lhs = AtomOperand(table, a, b, atom.left_tuple,
+                                   atom.left_column);
+    const Value& rhs = atom.right_is_constant
+                           ? atom.constant
+                           : AtomOperand(table, a, b, atom.right_tuple,
+                                         atom.right_column);
+    if (!EvalCompare(lhs, atom.op, rhs)) return false;
+  }
+  return true;
+}
+
+std::vector<bool> DenialConstraint::SatisfiedAtoms(const Table& table, RowId a,
+                                                   RowId b) const {
+  std::vector<bool> out(atoms_.size());
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    const PredicateAtom& atom = atoms_[i];
+    const Value& lhs = AtomOperand(table, a, b, atom.left_tuple,
+                                   atom.left_column);
+    const Value& rhs = atom.right_is_constant
+                           ? atom.constant
+                           : AtomOperand(table, a, b, atom.right_tuple,
+                                         atom.right_column);
+    out[i] = EvalCompare(lhs, atom.op, rhs);
+  }
+  return out;
+}
+
+std::string DenialConstraint::ToString() const {
+  std::ostringstream oss;
+  oss << name_ << "[" << table_ << "]: !(";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) oss << " & ";
+    oss << atoms_[i].ToString();
+  }
+  oss << ")";
+  return oss.str();
+}
+
+namespace {
+
+// Parses one side of an atom: "t1.col", "t2.col", or a literal constant.
+struct Operand {
+  bool is_constant = false;
+  int tuple = -1;
+  std::string column;
+  Value constant;
+};
+
+Result<Operand> ParseOperand(const std::string& raw, const Schema& schema) {
+  const std::string text = Trim(raw);
+  if (text.empty()) return Status::ParseError("empty operand");
+  Operand op;
+  if ((StartsWith(text, "t1.") || StartsWith(text, "t2.")) &&
+      text.size() > 3) {
+    op.tuple = text[1] == '1' ? 0 : 1;
+    op.column = text.substr(3);
+    if (!schema.HasColumn(op.column)) {
+      return Status::ParseError("constraint references unknown column '" +
+                                op.column + "'");
+    }
+    return op;
+  }
+  op.is_constant = true;
+  // Quoted string literal or numeric literal.
+  if (text.size() >= 2 && (text.front() == '\'' || text.front() == '"') &&
+      text.back() == text.front()) {
+    op.constant = Value(text.substr(1, text.size() - 2));
+    return op;
+  }
+  if (text.find('.') != std::string::npos ||
+      text.find('e') != std::string::npos) {
+    auto d = Value::Parse(text, ValueType::kDouble);
+    if (d.ok()) {
+      op.constant = d.value();
+      return op;
+    }
+  }
+  auto i = Value::Parse(text, ValueType::kInt);
+  if (i.ok()) {
+    op.constant = i.value();
+    return op;
+  }
+  // Fall back to a bare string literal.
+  op.constant = Value(text);
+  return op;
+}
+
+Result<PredicateAtom> ParseAtom(const std::string& raw, const Schema& schema) {
+  const std::string text = Trim(raw);
+  // Find the operator. Longest-match first to keep "<=" from parsing as "<".
+  static const char* kOps[] = {"<=", ">=", "==", "!=", "<>", "<", ">", "="};
+  size_t op_pos = std::string::npos;
+  std::string op_token;
+  for (const char* candidate : kOps) {
+    const size_t pos = text.find(candidate);
+    if (pos != std::string::npos &&
+        (op_pos == std::string::npos || pos < op_pos ||
+         (pos == op_pos && std::string(candidate).size() > op_token.size()))) {
+      op_pos = pos;
+      op_token = candidate;
+    }
+  }
+  if (op_pos == std::string::npos) {
+    return Status::ParseError("no comparison operator in atom '" + text + "'");
+  }
+  DAISY_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp(op_token));
+  DAISY_ASSIGN_OR_RETURN(Operand left,
+                         ParseOperand(text.substr(0, op_pos), schema));
+  DAISY_ASSIGN_OR_RETURN(
+      Operand right, ParseOperand(text.substr(op_pos + op_token.size()), schema));
+  if (left.is_constant && right.is_constant) {
+    return Status::ParseError("atom '" + text + "' compares two constants");
+  }
+  // Normalize so the tuple reference is on the left.
+  if (left.is_constant) {
+    std::swap(left, right);
+    op = FlipOp(op);
+  }
+  PredicateAtom atom;
+  atom.left_tuple = left.tuple;
+  atom.left_column_name = left.column;
+  DAISY_ASSIGN_OR_RETURN(atom.left_column, schema.ColumnIndex(left.column));
+  atom.op = op;
+  if (right.is_constant) {
+    atom.right_is_constant = true;
+    atom.constant = right.constant;
+  } else {
+    atom.right_tuple = right.tuple;
+    atom.right_column_name = right.column;
+    DAISY_ASSIGN_OR_RETURN(atom.right_column,
+                           schema.ColumnIndex(right.column));
+  }
+  return atom;
+}
+
+Result<DenialConstraint> ParseFdShorthand(const std::string& name,
+                                          const std::string& body,
+                                          const std::string& table,
+                                          const Schema& schema) {
+  const size_t arrow = body.find("->");
+  if (arrow == std::string::npos) {
+    return Status::ParseError("FD shorthand needs '->': " + body);
+  }
+  std::vector<PredicateAtom> atoms;
+  for (const std::string& part : Split(body.substr(0, arrow), ',')) {
+    const std::string col = Trim(part);
+    if (col.empty()) return Status::ParseError("empty FD lhs attribute");
+    PredicateAtom atom;
+    atom.left_tuple = 0;
+    atom.right_tuple = 1;
+    atom.left_column_name = atom.right_column_name = col;
+    DAISY_ASSIGN_OR_RETURN(atom.left_column, schema.ColumnIndex(col));
+    atom.right_column = atom.left_column;
+    atom.op = CompareOp::kEq;
+    atoms.push_back(std::move(atom));
+  }
+  const std::string rhs = Trim(body.substr(arrow + 2));
+  if (rhs.find(',') != std::string::npos) {
+    return Status::ParseError(
+        "FD rhs must be a single attribute (split Y1,Y2 into separate FDs): " +
+        rhs);
+  }
+  PredicateAtom neq;
+  neq.left_tuple = 0;
+  neq.right_tuple = 1;
+  neq.left_column_name = neq.right_column_name = rhs;
+  DAISY_ASSIGN_OR_RETURN(neq.left_column, schema.ColumnIndex(rhs));
+  neq.right_column = neq.left_column;
+  neq.op = CompareOp::kNeq;
+  atoms.push_back(std::move(neq));
+  return DenialConstraint(name, table, 2, std::move(atoms));
+}
+
+}  // namespace
+
+Result<DenialConstraint> ParseConstraint(const std::string& text,
+                                         const std::string& table,
+                                         const Schema& schema) {
+  std::string body = Trim(text);
+  std::string name;
+  // Optional "name:" prefix — but not the "FD x -> y" keyword itself, and
+  // ':' inside the DC body (unlikely) is not supported.
+  const size_t colon = body.find(':');
+  if (colon != std::string::npos) {
+    const std::string maybe_name = Trim(body.substr(0, colon));
+    if (!maybe_name.empty() && maybe_name.find(' ') == std::string::npos &&
+        maybe_name.find('(') == std::string::npos) {
+      name = maybe_name;
+      body = Trim(body.substr(colon + 1));
+    }
+  }
+  if (name.empty()) name = "dc_" + table;
+
+  const std::string lowered = ToLower(body);
+  if (StartsWith(lowered, "fd ") || StartsWith(lowered, "fd:")) {
+    return ParseFdShorthand(name, body.substr(3), table, schema);
+  }
+
+  // General form: optional leading "!" and surrounding parentheses.
+  if (!body.empty() && body.front() == '!') body = Trim(body.substr(1));
+  if (!body.empty() && body.front() == '(' && body.back() == ')') {
+    body = Trim(body.substr(1, body.size() - 2));
+  }
+  if (body.empty()) return Status::ParseError("empty constraint body");
+
+  std::vector<PredicateAtom> atoms;
+  int num_tuples = 1;
+  for (const std::string& part : Split(body, '&')) {
+    const std::string atom_text = Trim(part);
+    if (atom_text.empty()) {
+      return Status::ParseError("empty atom in constraint '" + text + "'");
+    }
+    DAISY_ASSIGN_OR_RETURN(PredicateAtom atom, ParseAtom(atom_text, schema));
+    if (atom.left_tuple == 1 ||
+        (!atom.right_is_constant && atom.right_tuple == 1)) {
+      num_tuples = 2;
+    }
+    atoms.push_back(std::move(atom));
+  }
+  return DenialConstraint(name, table, num_tuples, std::move(atoms));
+}
+
+}  // namespace daisy

@@ -1,0 +1,120 @@
+#include "constraints/predicate.h"
+
+#include <sstream>
+
+namespace daisy {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNeq:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLeq:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGeq:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<CompareOp> ParseCompareOp(const std::string& token) {
+  if (token == "=" || token == "==") return CompareOp::kEq;
+  if (token == "!=" || token == "<>") return CompareOp::kNeq;
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLeq;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGeq;
+  return Status::ParseError("unknown comparison operator '" + token + "'");
+}
+
+CompareOp NegateOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNeq;
+    case CompareOp::kNeq:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGeq;
+    case CompareOp::kLeq:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLeq;
+    case CompareOp::kGeq:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNeq:
+      return CompareOp::kNeq;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLeq:
+      return CompareOp::kGeq;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGeq:
+      return CompareOp::kLeq;
+  }
+  return op;
+}
+
+bool EvalCompare(const Value& a, CompareOp op, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    // SQL-ish null semantics restricted to what detection needs: null equals
+    // only null; inequality comparisons against null never hold.
+    switch (op) {
+      case CompareOp::kEq:
+        return a.is_null() && b.is_null();
+      case CompareOp::kNeq:
+        return a.is_null() != b.is_null();
+      default:
+        return false;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNeq:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLeq:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGeq:
+      return a >= b;
+  }
+  return false;
+}
+
+std::string PredicateAtom::ToString() const {
+  std::ostringstream oss;
+  oss << "t" << left_tuple + 1 << "." << left_column_name << " "
+      << CompareOpToString(op) << " ";
+  if (right_is_constant) {
+    oss << constant.ToString();
+  } else {
+    oss << "t" << right_tuple + 1 << "." << right_column_name;
+  }
+  return oss.str();
+}
+
+bool PredicateAtom::operator==(const PredicateAtom& other) const {
+  return left_tuple == other.left_tuple && left_column == other.left_column &&
+         op == other.op && right_is_constant == other.right_is_constant &&
+         right_tuple == other.right_tuple &&
+         right_column == other.right_column && constant == other.constant;
+}
+
+}  // namespace daisy

@@ -1,0 +1,72 @@
+#include "datagen/metrics.h"
+
+#include <map>
+
+namespace daisy {
+
+namespace {
+
+Status CheckShapes(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() ||
+      a.num_columns() != b.num_columns()) {
+    return Status::InvalidArgument(
+        "table shapes differ: " + std::to_string(a.num_rows()) + "x" +
+        std::to_string(a.num_columns()) + " vs " +
+        std::to_string(b.num_rows()) + "x" + std::to_string(b.num_columns()));
+  }
+  return Status::OK();
+}
+
+void ScoreCell(const Value& original, const Value& chosen, const Value& truth,
+               AccuracyMetrics* m) {
+  const bool is_error = !(original == truth);
+  const bool is_update = !(chosen == original);
+  if (is_error) ++m->total_errors;
+  if (is_update) {
+    ++m->total_updates;
+    if (chosen == truth) ++m->correct_updates;
+  }
+  if (is_error && chosen == truth) ++m->corrected_errors;
+}
+
+}  // namespace
+
+Result<AccuracyMetrics> EvaluateTableRepairs(const Table& repaired,
+                                             const Table& truth) {
+  DAISY_RETURN_IF_ERROR(CheckShapes(repaired, truth));
+  AccuracyMetrics m;
+  for (RowId r = 0; r < repaired.num_rows(); ++r) {
+    for (size_t c = 0; c < repaired.num_columns(); ++c) {
+      const Cell& cell = repaired.cell(r, c);
+      ScoreCell(cell.original(), cell.MostProbable(),
+                truth.cell(r, c).original(), &m);
+    }
+  }
+  return m;
+}
+
+Result<AccuracyMetrics> EvaluateCellRepairs(
+    const Table& dirty, const Table& truth,
+    const std::vector<CellRepair>& repairs) {
+  DAISY_RETURN_IF_ERROR(CheckShapes(dirty, truth));
+  std::map<std::pair<RowId, size_t>, const CellRepair*> by_cell;
+  for (const CellRepair& rep : repairs) {
+    if (rep.row >= dirty.num_rows() || rep.col >= dirty.num_columns()) {
+      return Status::OutOfRange("repair targets cell out of range");
+    }
+    by_cell[{rep.row, rep.col}] = &rep;
+  }
+  AccuracyMetrics m;
+  for (RowId r = 0; r < dirty.num_rows(); ++r) {
+    for (size_t c = 0; c < dirty.num_columns(); ++c) {
+      const Value& original = dirty.cell(r, c).original();
+      auto it = by_cell.find({r, c});
+      const Value& chosen =
+          it == by_cell.end() ? original : it->second->chosen;
+      ScoreCell(original, chosen, truth.cell(r, c).original(), &m);
+    }
+  }
+  return m;
+}
+
+}  // namespace daisy

@@ -1,0 +1,55 @@
+// Repair-accuracy metrics (Section 7: precision = correct updates / total
+// updates, recall = correct updates / total errors, plus F1).
+
+#ifndef DAISY_DATAGEN_METRICS_H_
+#define DAISY_DATAGEN_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "holo/holoclean_sim.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// Accuracy counters and derived scores.
+struct AccuracyMetrics {
+  size_t total_updates = 0;    ///< cells whose chosen value != original
+  size_t correct_updates = 0;  ///< updates that match the ground truth
+  size_t total_errors = 0;     ///< cells where original != truth
+  size_t corrected_errors = 0; ///< errors whose chosen value == truth
+
+  double precision() const {
+    return total_updates == 0
+               ? 1.0
+               : static_cast<double>(correct_updates) /
+                     static_cast<double>(total_updates);
+  }
+  double recall() const {
+    return total_errors == 0
+               ? 1.0
+               : static_cast<double>(corrected_errors) /
+                     static_cast<double>(total_errors);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores a probabilistically repaired table by committing each cell to its
+/// most probable candidate (the DaisyP policy) and comparing against the
+/// ground truth. Requires identical shapes.
+Result<AccuracyMetrics> EvaluateTableRepairs(const Table& repaired,
+                                             const Table& truth);
+
+/// Scores an explicit repair list (HoloClean-style inference output)
+/// against the ground truth: unlisted cells keep their original values.
+Result<AccuracyMetrics> EvaluateCellRepairs(
+    const Table& dirty, const Table& truth,
+    const std::vector<CellRepair>& repairs);
+
+}  // namespace daisy
+
+#endif  // DAISY_DATAGEN_METRICS_H_

@@ -1,0 +1,230 @@
+#include "datagen/realworld.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy {
+
+namespace {
+
+Table CopyAs(const Table& src, const std::string& name) {
+  Table out(name, src.schema());
+  out.Reserve(src.num_rows());
+  for (RowId r = 0; r < src.num_rows(); ++r) out.AppendRowUnchecked(src.row(r));
+  return out;
+}
+
+}  // namespace
+
+GeneratedData GenerateHospital(const HospitalConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Column> cols{{"provider_id", ValueType::kInt},
+                           {"hospital_name", ValueType::kString},
+                           {"address", ValueType::kString},
+                           {"city", ValueType::kString},
+                           {"state", ValueType::kString},
+                           {"zip", ValueType::kString},
+                           {"county", ValueType::kString},
+                           {"phone", ValueType::kString},
+                           {"type", ValueType::kString},
+                           {"owner", ValueType::kString},
+                           {"emergency", ValueType::kString},
+                           {"condition", ValueType::kString},
+                           {"measure_code", ValueType::kString},
+                           {"measure_name", ValueType::kString},
+                           {"score", ValueType::kInt},
+                           {"sample", ValueType::kInt},
+                           {"state_avg", ValueType::kString},
+                           {"quarter", ValueType::kString},
+                           {"footnote", ValueType::kString}};
+  Schema schema(std::move(cols));
+  Table dirty("hospital", schema);
+  dirty.Reserve(config.num_rows);
+
+  static const char* kStates[] = {"AL", "AK", "CA", "NY", "TX", "WA"};
+  static const char* kConditions[] = {"Heart Attack", "Pneumonia",
+                                      "Surgical Infection", "Heart Failure"};
+  // Entities: each hospital fixes name/address/city/zip/phone/... so the
+  // three FDs hold on clean data.
+  struct Entity {
+    std::string name, address, city, state, zip, county, phone, type, owner;
+  };
+  std::vector<Entity> hospitals(config.num_hospitals);
+  for (size_t h = 0; h < config.num_hospitals; ++h) {
+    Entity& e = hospitals[h];
+    e.name = "hospital_" + std::to_string(h);
+    e.address = std::to_string(100 + h) + " main street";
+    // A few hospitals share a city; zip is unique per hospital so that
+    // zip -> city holds while cities repeat (realistic clustering).
+    e.city = "city_" + std::to_string(h % (config.num_hospitals / 2 + 1));
+    e.state = kStates[h % 6];
+    e.zip = std::to_string(10000 + h);
+    e.county = "county_" + std::to_string(h % 10);
+    e.phone = std::to_string(2000000000 + static_cast<long long>(h) * 1111);
+    e.type = "acute care";
+    e.owner = h % 3 == 0 ? "government" : "voluntary";
+  }
+
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    const Entity& e = hospitals[i % config.num_hospitals];
+    const size_t m = i / config.num_hospitals;
+    Status st = dirty.AppendRow(
+        {Value(static_cast<int64_t>(i % config.num_hospitals)),
+         Value(e.name), Value(e.address), Value(e.city), Value(e.state),
+         Value(e.zip), Value(e.county), Value(e.phone), Value(e.type),
+         Value(e.owner), Value(i % 2 == 0 ? "yes" : "no"),
+         Value(std::string(kConditions[m % 4])),
+         Value("MC-" + std::to_string(m % 20)),
+         Value("measure_" + std::to_string(m % 20)),
+         Value(rng.UniformInt(1, 100)), Value(rng.UniformInt(10, 500)),
+         Value("avg_" + std::to_string(m % 20)),
+         Value("Q" + std::to_string(1 + (i % 4))), Value("")});
+    (void)st;
+  }
+  GeneratedData out;
+  out.truth = CopyAs(dirty, "hospital_truth");
+
+  // Typo injection on the FD-relevant string columns.
+  const size_t kCity = 3, kZip = 5, kPhone = 7;
+  const size_t dirty_cols[] = {kCity, kZip, kPhone};
+  const size_t total_cells = config.num_rows * 3;
+  const size_t edits = static_cast<size_t>(std::llround(
+      config.cell_error_rate * static_cast<double>(total_cells)));
+  for (size_t k = 0; k < edits; ++k) {
+    const RowId r = static_cast<RowId>(
+        rng.UniformInt(0, static_cast<int64_t>(config.num_rows) - 1));
+    const size_t c = dirty_cols[rng.UniformInt(0, 2)];
+    const std::string v = dirty.cell(r, c).original().ToString();
+    // A typo that creates a distinct (conflicting) value.
+    dirty.mutable_cell(r, c) = Cell(Value(v + "x"));
+  }
+  out.dirty = std::move(dirty);
+  return out;
+}
+
+GeneratedData GenerateNestle(const NestleConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Column> cols{{"product_id", ValueType::kInt},
+                           {"name", ValueType::kString},
+                           {"material", ValueType::kString},
+                           {"category", ValueType::kString},
+                           {"brand", ValueType::kString}};
+  for (int i = 5; i < 19; ++i) {
+    cols.push_back({"attr" + std::to_string(i), ValueType::kString});
+  }
+  Schema schema(std::move(cols));
+  Table dirty("nestle", schema);
+  dirty.Reserve(config.num_rows);
+
+  // material -> category, with few categories (low selectivity): each
+  // category serves many materials, so one dirty category value correlates
+  // with many material groups — the property that blows up offline
+  // cleaning on the 200MB version (Table 8).
+  std::vector<size_t> material_to_cat(config.num_materials);
+  for (size_t m = 0; m < config.num_materials; ++m) {
+    material_to_cat[m] = m % config.num_categories;
+  }
+  std::vector<std::vector<RowId>> rows_per_material(config.num_materials);
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    // Zipf-skewed material popularity (duplicated entities).
+    const size_t m = rng.Zipf(config.num_materials, 1.05);
+    std::vector<Value> row{
+        Value(static_cast<int64_t>(i)),
+        Value("product_" + std::to_string(i)),
+        Value("material_" + std::to_string(m)),
+        Value("category_" + std::to_string(material_to_cat[m])),
+        Value("brand_" + std::to_string(m % 30))};
+    for (int c = 5; c < 19; ++c) {
+      row.push_back(Value("v" + std::to_string(rng.UniformInt(0, 9))));
+    }
+    Status st = dirty.AppendRow(std::move(row));
+    (void)st;
+    rows_per_material[m].push_back(i);
+  }
+  GeneratedData out;
+  out.truth = CopyAs(dirty, "nestle_truth");
+
+  const size_t kCategoryCol = 3;
+  const size_t num_violating = static_cast<size_t>(std::llround(
+      config.violating_fraction * static_cast<double>(config.num_materials)));
+  std::vector<size_t> violating =
+      rng.SampleWithoutReplacement(config.num_materials, num_violating);
+  for (size_t m : violating) {
+    const std::vector<RowId>& group = rows_per_material[m];
+    if (group.size() < 2) continue;
+    const size_t edits = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               config.error_rate * static_cast<double>(group.size()))));
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(
+        group.size(), std::min(edits, group.size() - 1));
+    for (size_t pick : picks) {
+      size_t wrong = material_to_cat[m];
+      while (config.num_categories > 1 && wrong == material_to_cat[m]) {
+        wrong = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(config.num_categories) - 1));
+      }
+      dirty.mutable_cell(group[pick], kCategoryCol) =
+          Cell(Value("category_" + std::to_string(wrong)));
+    }
+  }
+  out.dirty = std::move(dirty);
+  return out;
+}
+
+GeneratedData GenerateAirQuality(const AirQualityConfig& config) {
+  Rng rng(config.seed);
+  Schema schema({{"state_code", ValueType::kInt},
+                 {"county_code", ValueType::kInt},
+                 {"county_name", ValueType::kString},
+                 {"site_num", ValueType::kInt},
+                 {"parameter", ValueType::kString},
+                 {"year", ValueType::kInt},
+                 {"sample_measurement", ValueType::kDouble}});
+  Table dirty("airquality", schema);
+  dirty.Reserve(config.num_rows);
+
+  const size_t num_counties = config.num_states * config.counties_per_state;
+  std::vector<std::vector<RowId>> rows_per_county(num_counties);
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    // Zipf skew: a few counties dominate, most pairs are infrequent — the
+    // errors target the infrequent pairs (matching the paper's injection).
+    const size_t county = rng.Zipf(num_counties, 0.8);
+    const int64_t state_code = static_cast<int64_t>(county / config.counties_per_state);
+    const int64_t county_code = static_cast<int64_t>(county % config.counties_per_state);
+    Status st = dirty.AppendRow(
+        {Value(state_code), Value(county_code),
+         Value("county_" + std::to_string(county)),
+         Value(rng.UniformInt(1, 20)), Value("CO"),
+         Value(static_cast<int64_t>(2000 + rng.UniformInt(
+                                        0, static_cast<int64_t>(config.num_years) - 1))),
+         Value(rng.UniformDouble(0.1, 5.0))});
+    (void)st;
+    rows_per_county[county].push_back(i);
+  }
+  GeneratedData out;
+  out.truth = CopyAs(dirty, "airquality_truth");
+
+  // Rank counties by frequency; corrupt the *least* frequent populated
+  // groups until the requested share of groups violates.
+  std::vector<size_t> populated;
+  for (size_t c = 0; c < num_counties; ++c) {
+    if (rows_per_county[c].size() >= 2) populated.push_back(c);
+  }
+  std::sort(populated.begin(), populated.end(), [&](size_t a, size_t b) {
+    return rows_per_county[a].size() < rows_per_county[b].size();
+  });
+  const size_t to_corrupt = static_cast<size_t>(std::llround(
+      config.violating_group_fraction * static_cast<double>(populated.size())));
+  const size_t kNameCol = 2;
+  for (size_t k = 0; k < to_corrupt && k < populated.size(); ++k) {
+    const std::vector<RowId>& group = rows_per_county[populated[k]];
+    const RowId r = group[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(group.size()) - 1))];
+    dirty.mutable_cell(r, kNameCol) = Cell(
+        Value(dirty.cell(r, kNameCol).original().ToString() + "_misspelled"));
+  }
+  out.dirty = std::move(dirty);
+  return out;
+}
+
+}  // namespace daisy

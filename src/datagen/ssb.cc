@@ -1,0 +1,344 @@
+#include "datagen/ssb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace daisy {
+
+namespace {
+
+Schema LineorderSchema() {
+  return Schema({{"orderkey", ValueType::kInt},
+                 {"linenumber", ValueType::kInt},
+                 {"custkey", ValueType::kInt},
+                 {"partkey", ValueType::kInt},
+                 {"suppkey", ValueType::kInt},
+                 {"orderdate", ValueType::kInt},
+                 {"quantity", ValueType::kInt},
+                 {"extended_price", ValueType::kDouble},
+                 {"discount", ValueType::kDouble},
+                 {"revenue", ValueType::kDouble}});
+}
+
+// Monotone discount schedule: clean data satisfies the Fig. 10 DC.
+double DiscountFor(double price, double max_price) {
+  return std::floor(price / max_price * 10.0) / 100.0;
+}
+
+}  // namespace
+
+GeneratedData GenerateLineorder(const SsbConfig& config) {
+  Rng rng(config.seed);
+  Table dirty("lineorder", LineorderSchema());
+  dirty.Reserve(config.num_rows);
+
+  // Clean assignment: each orderkey owns one suppkey.
+  std::vector<int64_t> order_to_supp(config.distinct_orderkeys);
+  for (size_t ok = 0; ok < config.distinct_orderkeys; ++ok) {
+    order_to_supp[ok] =
+        rng.UniformInt(0, static_cast<int64_t>(config.distinct_suppkeys) - 1);
+  }
+
+  const double max_price = 100000.0;
+  std::vector<std::vector<RowId>> rows_per_order(config.distinct_orderkeys);
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    const int64_t ok = static_cast<int64_t>(i % config.distinct_orderkeys);
+    const double price = rng.UniformDouble(1000.0, max_price);
+    const double discount = DiscountFor(price, max_price);
+    const int64_t quantity = rng.UniformInt(1, 50);
+    std::vector<Value> row{
+        Value(ok),
+        Value(static_cast<int64_t>(i / config.distinct_orderkeys) + 1),
+        Value(rng.UniformInt(0, static_cast<int64_t>(config.distinct_custkeys) - 1)),
+        Value(rng.UniformInt(0, static_cast<int64_t>(config.distinct_partkeys) - 1)),
+        Value(order_to_supp[ok]),
+        Value(rng.UniformInt(0, static_cast<int64_t>(config.distinct_dates) - 1)),
+        Value(quantity),
+        Value(price),
+        Value(discount),
+        Value(price * (1.0 - discount))};
+    Status st = dirty.AppendRow(std::move(row));
+    (void)st;  // generator-controlled schema: cannot fail
+    rows_per_order[ok].push_back(i);
+  }
+  GeneratedData out;
+  out.truth = dirty;
+  out.truth = Table("lineorder_truth", LineorderSchema());
+  out.truth.Reserve(config.num_rows);
+  for (RowId r = 0; r < dirty.num_rows(); ++r) {
+    out.truth.AppendRowUnchecked(dirty.row(r));
+  }
+
+  // BART-style uniform edits: for each violating orderkey, change the
+  // suppkey of ~error_rate of its rows to a different supplier.
+  const size_t num_violating = static_cast<size_t>(
+      std::llround(config.violating_fraction *
+                   static_cast<double>(config.distinct_orderkeys)));
+  std::vector<size_t> violating =
+      rng.SampleWithoutReplacement(config.distinct_orderkeys, num_violating);
+  const size_t supp_col = 4;
+  size_t typo_counter = 0;
+  for (size_t ok : violating) {
+    const std::vector<RowId>& group = rows_per_order[ok];
+    if (group.empty()) continue;
+    size_t edits = static_cast<size_t>(
+        std::llround(config.error_rate * static_cast<double>(group.size())));
+    edits = std::max<size_t>(1, edits);
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(group.size(), std::min(edits, group.size()));
+    for (size_t pick : picks) {
+      const RowId r = group[pick];
+      int64_t wrong;
+      if (config.error_style == SsbErrorStyle::kUniqueTypo) {
+        wrong = static_cast<int64_t>(config.distinct_suppkeys) +
+                static_cast<int64_t>(typo_counter++);
+      } else {
+        wrong = order_to_supp[ok];
+        if (config.distinct_suppkeys > 1) {
+          while (wrong == order_to_supp[ok]) {
+            wrong = rng.UniformInt(
+                0, static_cast<int64_t>(config.distinct_suppkeys) - 1);
+          }
+        } else {
+          wrong = order_to_supp[ok] + 1;
+        }
+      }
+      dirty.mutable_cell(r, supp_col) = Cell(Value(wrong));
+    }
+  }
+  out.dirty = std::move(dirty);
+  return out;
+}
+
+GeneratedData GenerateSupplier(size_t num_rows, size_t distinct_suppkeys,
+                               double violating_fraction, double error_rate,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"suppkey", ValueType::kInt},
+                 {"name", ValueType::kString},
+                 {"address", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"nation", ValueType::kString}});
+  Table dirty("supplier", schema);
+  dirty.Reserve(num_rows);
+
+  // Each address belongs to one suppkey (FD address -> suppkey); several
+  // rows share an address (branch offices / re-registrations).
+  const size_t distinct_addresses = std::max<size_t>(1, distinct_suppkeys);
+  std::vector<int64_t> addr_to_supp(distinct_addresses);
+  for (size_t a = 0; a < distinct_addresses; ++a) {
+    addr_to_supp[a] =
+        rng.UniformInt(0, static_cast<int64_t>(distinct_suppkeys) - 1);
+  }
+  static const char* kCities[] = {"Los Angeles", "San Francisco", "New York",
+                                  "Chicago", "Boston", "Seattle"};
+  static const char* kNations[] = {"US", "FR", "DE", "JP", "BR"};
+  std::vector<std::vector<RowId>> rows_per_addr(distinct_addresses);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const size_t a = i % distinct_addresses;
+    std::vector<Value> row{
+        Value(addr_to_supp[a]),
+        Value("Supplier#" + std::to_string(addr_to_supp[a])),
+        Value("addr_" + std::to_string(a)),
+        Value(std::string(kCities[a % 6])),
+        Value(std::string(kNations[a % 5]))};
+    Status st = dirty.AppendRow(std::move(row));
+    (void)st;
+    rows_per_addr[a].push_back(i);
+  }
+  GeneratedData out;
+  out.truth = Table("supplier_truth", schema);
+  out.truth.Reserve(num_rows);
+  for (RowId r = 0; r < dirty.num_rows(); ++r) {
+    out.truth.AppendRowUnchecked(dirty.row(r));
+  }
+
+  const size_t num_violating = static_cast<size_t>(std::llround(
+      violating_fraction * static_cast<double>(distinct_addresses)));
+  std::vector<size_t> violating =
+      rng.SampleWithoutReplacement(distinct_addresses, num_violating);
+  for (size_t a : violating) {
+    const std::vector<RowId>& group = rows_per_addr[a];
+    if (group.size() < 2) continue;  // need >=2 rows for a visible conflict
+    size_t edits = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               error_rate * static_cast<double>(group.size()))));
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(
+        group.size(), std::min(edits, group.size() - 1));
+    for (size_t pick : picks) {
+      int64_t wrong = addr_to_supp[a];
+      if (distinct_suppkeys > 1) {
+        while (wrong == addr_to_supp[a]) {
+          wrong = rng.UniformInt(0, static_cast<int64_t>(distinct_suppkeys) - 1);
+        }
+      } else {
+        wrong = addr_to_supp[a] + 1;
+      }
+      dirty.mutable_cell(group[pick], 0) = Cell(Value(wrong));
+    }
+  }
+  out.dirty = std::move(dirty);
+  return out;
+}
+
+GeneratedData GenerateDenormalizedLineorder(
+    const SsbConfig& config, double supplier_violating_fraction) {
+  Rng rng(config.seed + 7);
+  Schema schema({{"orderkey", ValueType::kInt},
+                 {"suppkey", ValueType::kInt},
+                 {"address", ValueType::kString},
+                 {"extended_price", ValueType::kDouble},
+                 {"discount", ValueType::kDouble},
+                 {"quantity", ValueType::kInt}});
+  Table dirty("lineorder_wide", schema);
+  dirty.Reserve(config.num_rows);
+
+  std::vector<int64_t> order_to_supp(config.distinct_orderkeys);
+  for (size_t ok = 0; ok < config.distinct_orderkeys; ++ok) {
+    order_to_supp[ok] =
+        rng.UniformInt(0, static_cast<int64_t>(config.distinct_suppkeys) - 1);
+  }
+  // FD address -> suppkey holds clean: address is a function of suppkey.
+  std::vector<std::vector<RowId>> rows_per_order(config.distinct_orderkeys);
+  const double max_price = 100000.0;
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    const int64_t ok = static_cast<int64_t>(i % config.distinct_orderkeys);
+    const int64_t sk = order_to_supp[ok];
+    const double price = rng.UniformDouble(1000.0, max_price);
+    std::vector<Value> row{Value(ok),
+                           Value(sk),
+                           Value("addr_" + std::to_string(sk)),
+                           Value(price),
+                           Value(DiscountFor(price, max_price)),
+                           Value(rng.UniformInt(1, 50))};
+    Status st = dirty.AppendRow(std::move(row));
+    (void)st;
+    rows_per_order[ok].push_back(i);
+  }
+  GeneratedData out;
+  out.truth = Table("lineorder_wide_truth", schema);
+  out.truth.Reserve(config.num_rows);
+  for (RowId r = 0; r < dirty.num_rows(); ++r) {
+    out.truth.AppendRowUnchecked(dirty.row(r));
+  }
+
+  // Errors for ϕ: orderkey -> suppkey.
+  const size_t num_violating = static_cast<size_t>(
+      std::llround(config.violating_fraction *
+                   static_cast<double>(config.distinct_orderkeys)));
+  std::vector<size_t> violating =
+      rng.SampleWithoutReplacement(config.distinct_orderkeys, num_violating);
+  for (size_t ok : violating) {
+    const std::vector<RowId>& group = rows_per_order[ok];
+    if (group.empty()) continue;
+    const size_t edits = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               config.error_rate * static_cast<double>(group.size()))));
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(
+        group.size(), std::min(edits, group.size()));
+    for (size_t pick : picks) {
+      int64_t wrong = order_to_supp[ok];
+      while (config.distinct_suppkeys > 1 && wrong == order_to_supp[ok]) {
+        wrong =
+            rng.UniformInt(0, static_cast<int64_t>(config.distinct_suppkeys) - 1);
+      }
+      dirty.mutable_cell(group[pick], 1) = Cell(Value(wrong));
+    }
+  }
+  // Errors for ψ: address -> suppkey — edit suppkeys of some rows sharing an
+  // address (same column, different grouping; overlapping-attribute rules).
+  const size_t addr_violating = static_cast<size_t>(std::llround(
+      supplier_violating_fraction *
+      static_cast<double>(config.distinct_suppkeys)));
+  std::vector<size_t> bad_addrs = rng.SampleWithoutReplacement(
+      config.distinct_suppkeys, addr_violating);
+  std::vector<bool> is_bad_addr(config.distinct_suppkeys, false);
+  for (size_t a : bad_addrs) is_bad_addr[a] = true;
+  for (RowId r = 0; r < dirty.num_rows(); ++r) {
+    const Value& sk = dirty.cell(r, 1).original();
+    if (!sk.is_int()) continue;
+    const int64_t a = sk.as_int();
+    if (a < 0 || static_cast<size_t>(a) >= is_bad_addr.size() ||
+        !is_bad_addr[a]) {
+      continue;
+    }
+    if (rng.Bernoulli(config.error_rate * 0.5)) {
+      dirty.mutable_cell(r, 1) = Cell(
+          Value(rng.UniformInt(0, static_cast<int64_t>(config.distinct_suppkeys) - 1)));
+    }
+  }
+  out.dirty = std::move(dirty);
+  return out;
+}
+
+Table GeneratePart(size_t distinct_partkeys, uint64_t seed) {
+  Rng rng(seed);
+  Table part("part", Schema({{"partkey", ValueType::kInt},
+                             {"brand", ValueType::kString},
+                             {"category", ValueType::kString}}));
+  part.Reserve(distinct_partkeys);
+  for (size_t i = 0; i < distinct_partkeys; ++i) {
+    Status st = part.AppendRow(
+        {Value(static_cast<int64_t>(i)),
+         Value("MFGR#" + std::to_string(rng.UniformInt(1, 40))),
+         Value("CAT#" + std::to_string(rng.UniformInt(1, 8)))});
+    (void)st;
+  }
+  return part;
+}
+
+Table GenerateDate(size_t distinct_dates, uint64_t seed) {
+  (void)seed;
+  Table date("date", Schema({{"datekey", ValueType::kInt},
+                             {"year", ValueType::kInt},
+                             {"month", ValueType::kInt}}));
+  date.Reserve(distinct_dates);
+  for (size_t i = 0; i < distinct_dates; ++i) {
+    Status st = date.AppendRow({Value(static_cast<int64_t>(i)),
+                                Value(static_cast<int64_t>(1992 + i / 365)),
+                                Value(static_cast<int64_t>((i / 30) % 12 + 1))});
+    (void)st;
+  }
+  return date;
+}
+
+Table GenerateCustomer(size_t distinct_custkeys, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kNations[] = {"US", "FR", "DE", "JP", "BR"};
+  Table cust("customer", Schema({{"custkey", ValueType::kInt},
+                                 {"name", ValueType::kString},
+                                 {"city", ValueType::kString},
+                                 {"nation", ValueType::kString}}));
+  cust.Reserve(distinct_custkeys);
+  for (size_t i = 0; i < distinct_custkeys; ++i) {
+    Status st = cust.AppendRow(
+        {Value(static_cast<int64_t>(i)),
+         Value("Customer#" + std::to_string(i)),
+         Value("City#" + std::to_string(rng.UniformInt(0, 24))),
+         Value(std::string(kNations[i % 5]))});
+    (void)st;
+  }
+  return cust;
+}
+
+size_t InjectDcErrors(Table* lineorder, double fraction, double magnitude,
+                      uint64_t seed) {
+  Rng rng(seed);
+  auto discount_col = lineorder->schema().ColumnIndex("discount");
+  if (!discount_col.ok()) return 0;
+  const size_t col = discount_col.value();
+  const size_t n = lineorder->num_rows();
+  const size_t edits =
+      static_cast<size_t>(std::llround(fraction * static_cast<double>(n)));
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(n, edits);
+  for (size_t r : picks) {
+    const Value& d = lineorder->cell(r, col).original();
+    const double base = d.is_numeric() ? d.AsDouble() : 0.0;
+    lineorder->mutable_cell(r, col) =
+        Cell(Value(base + magnitude * rng.UniformDouble(0.5, 1.0)));
+  }
+  return picks.size();
+}
+
+}  // namespace daisy

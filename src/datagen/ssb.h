@@ -1,0 +1,89 @@
+// Star Schema Benchmark (SSB [26]) data synthesis with BART-style error
+// injection [5] (uniformly distributed edits so every query is affected).
+//
+// The lineorder generator preserves the FD orderkey -> suppkey in its clean
+// version and then edits `error_rate` of the rows of each violating
+// orderkey group, exactly matching the Section 7 setup. Prices carry a
+// monotone discount schedule so the inequality DC of Fig. 10 holds on clean
+// data; InjectDcErrors perturbs discounts to create a controlled number of
+// violations.
+
+#ifndef DAISY_DATAGEN_SSB_H_
+#define DAISY_DATAGEN_SSB_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// How injected suppkey errors pick their wrong value.
+enum class SsbErrorStyle {
+  /// BART-style typo: a fresh out-of-domain supplier id per edit. Keeps
+  /// the FD correlation clusters local to one orderkey group (default).
+  kUniqueTypo,
+  /// A random *existing* supplier id. Erroneous suppkeys then co-occur
+  /// with many orderkeys, linking clusters and inflating candidate sets —
+  /// the heavy-update scenario of Figs. 7/12.
+  kInDomain,
+};
+
+/// Knobs for the lineorder table.
+struct SsbConfig {
+  size_t num_rows = 10000;
+  size_t distinct_orderkeys = 1000;
+  size_t distinct_suppkeys = 100;
+  size_t distinct_partkeys = 200;
+  size_t distinct_custkeys = 100;
+  size_t distinct_dates = 365;
+  /// Fraction of orderkeys whose groups receive suppkey errors.
+  double violating_fraction = 1.0;
+  /// Fraction of rows edited inside each violating group.
+  double error_rate = 0.1;
+  SsbErrorStyle error_style = SsbErrorStyle::kUniqueTypo;
+  uint64_t seed = 42;
+};
+
+/// A generated table plus its clean ground truth.
+struct GeneratedData {
+  Table dirty;
+  Table truth;
+};
+
+/// lineorder(orderkey, linenumber, custkey, partkey, suppkey, orderdate,
+/// quantity, extended_price, discount, revenue).
+GeneratedData GenerateLineorder(const SsbConfig& config);
+
+/// supplier(suppkey, name, address, city, nation) with the FD
+/// address -> suppkey; `violating_fraction` of the addresses get edited
+/// suppkeys.
+GeneratedData GenerateSupplier(size_t num_rows, size_t distinct_suppkeys,
+                               double violating_fraction, double error_rate,
+                               uint64_t seed);
+
+/// Denormalized lineorder ⋈ supplier used by the multi-rule experiment
+/// (Fig. 8): columns of lineorder plus address/city/nation, with both FDs
+/// orderkey -> suppkey and address -> suppkey injected dirty.
+GeneratedData GenerateDenormalizedLineorder(const SsbConfig& config,
+                                            double supplier_violating_fraction);
+
+/// part(partkey, brand, category), date(datekey, year, month),
+/// customer(custkey, name, city, nation) — clean dimension tables for the
+/// SSB query-complexity ladder (Fig. 13).
+Table GeneratePart(size_t distinct_partkeys, uint64_t seed);
+Table GenerateDate(size_t distinct_dates, uint64_t seed);
+Table GenerateCustomer(size_t distinct_custkeys, uint64_t seed);
+
+/// Perturbs the discounts of `fraction` of the rows so that the DC
+/// ¬(t1.extended_price < t2.extended_price ∧ t1.discount > t2.discount)
+/// gains violations; `magnitude` scales how far the dirty discounts stick
+/// out (outliers spread across partitions, as in the paper's 20% case).
+/// Returns the number of rows edited.
+size_t InjectDcErrors(Table* lineorder, double fraction, double magnitude,
+                      uint64_t seed);
+
+}  // namespace daisy
+
+#endif  // DAISY_DATAGEN_SSB_H_

@@ -1,0 +1,120 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace daisy {
+
+namespace {
+
+// Sorted distinct original values of a column.
+Result<std::vector<Value>> DistinctSorted(const Table& table,
+                                          const std::string& column) {
+  DAISY_ASSIGN_OR_RETURN(size_t col, table.schema().ColumnIndex(column));
+  std::vector<Value> values;
+  values.reserve(table.num_rows());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    values.push_back(table.cell(r, col).original());
+  }
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](const Value& a, const Value& b) { return a == b; }),
+               values.end());
+  if (values.empty()) {
+    return Status::InvalidArgument("column '" + column + "' has no values");
+  }
+  return values;
+}
+
+std::string Literal(const Value& v) {
+  if (v.is_string()) return "'" + v.ToString() + "'";
+  return v.ToString();
+}
+
+std::string RangeQuery(const std::string& select_list,
+                       const std::string& table, const std::string& column,
+                       const Value& lo, const Value& hi) {
+  std::ostringstream oss;
+  oss << "SELECT " << select_list << " FROM " << table << " WHERE " << column
+      << " >= " << Literal(lo) << " AND " << column << " <= " << Literal(hi);
+  return oss.str();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> MakeNonOverlappingRangeQueries(
+    const Table& table, const std::string& column, size_t num_queries,
+    const std::string& select_list) {
+  if (num_queries == 0) return Status::InvalidArgument("num_queries == 0");
+  DAISY_ASSIGN_OR_RETURN(std::vector<Value> values,
+                         DistinctSorted(table, column));
+  std::vector<std::string> queries;
+  queries.reserve(num_queries);
+  const size_t n = values.size();
+  for (size_t q = 0; q < num_queries; ++q) {
+    const size_t begin = q * n / num_queries;
+    size_t end = (q + 1) * n / num_queries;
+    if (begin >= n) break;
+    if (end == begin) end = begin + 1;
+    queries.push_back(RangeQuery(select_list, table.name(), column,
+                                 values[begin], values[end - 1]));
+  }
+  return queries;
+}
+
+Result<std::vector<std::string>> MakeRandomSelectivityQueries(
+    const Table& table, const std::string& column, size_t num_queries,
+    uint64_t seed, const std::string& select_list) {
+  if (num_queries == 0) return Status::InvalidArgument("num_queries == 0");
+  DAISY_ASSIGN_OR_RETURN(std::vector<Value> values,
+                         DistinctSorted(table, column));
+  Rng rng(seed);
+  const size_t n = values.size();
+  // Random non-overlapping split: draw num_queries-1 cut points.
+  std::vector<size_t> cuts{0, n};
+  for (size_t i = 0; i + 1 < num_queries; ++i) {
+    cuts.push_back(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1)));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::vector<std::string> queries;
+  for (size_t i = 0; i + 1 < cuts.size() && queries.size() < num_queries;
+       ++i) {
+    const size_t begin = cuts[i];
+    const size_t end = std::max(cuts[i + 1], begin + 1);
+    if (begin >= n) break;
+    if (end - begin == 1 || rng.Bernoulli(0.2)) {
+      // Equality predicate.
+      std::ostringstream oss;
+      oss << "SELECT " << select_list << " FROM " << table.name() << " WHERE "
+          << column << " = " << Literal(values[begin]);
+      queries.push_back(oss.str());
+    } else {
+      queries.push_back(RangeQuery(select_list, table.name(), column,
+                                   values[begin],
+                                   values[std::min(end, n) - 1]));
+    }
+  }
+  return queries;
+}
+
+Result<std::vector<std::string>> MakePointQueries(
+    const Table& table, const std::string& column, size_t num_queries,
+    const std::string& select_list) {
+  DAISY_ASSIGN_OR_RETURN(std::vector<Value> values,
+                         DistinctSorted(table, column));
+  std::vector<std::string> queries;
+  queries.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const Value& v = values[q % values.size()];
+    std::ostringstream oss;
+    oss << "SELECT " << select_list << " FROM " << table.name() << " WHERE "
+        << column << " = " << Literal(v);
+    queries.push_back(oss.str());
+  }
+  return queries;
+}
+
+}  // namespace daisy

@@ -1,0 +1,39 @@
+// Query-workload synthesis matching the Section 7 setups: non-overlapping
+// range queries of fixed selectivity that jointly cover the whole dataset,
+// random-selectivity mixes, and point (equality) lookups.
+
+#ifndef DAISY_DATAGEN_WORKLOAD_H_
+#define DAISY_DATAGEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// `num_queries` range queries "SELECT <select_list> FROM <table> WHERE
+/// <column> >= lo AND <column> <= hi" whose ranges partition the sorted
+/// distinct values of `column` (each query selects ~1/num_queries of the
+/// data; together they access everything — the paper's 50 x 2% workloads).
+Result<std::vector<std::string>> MakeNonOverlappingRangeQueries(
+    const Table& table, const std::string& column, size_t num_queries,
+    const std::string& select_list = "*");
+
+/// Like above, but the split points are random, giving random per-query
+/// selectivities (Figs. 7 and 12). A fraction of the queries degenerate to
+/// equality predicates.
+Result<std::vector<std::string>> MakeRandomSelectivityQueries(
+    const Table& table, const std::string& column, size_t num_queries,
+    uint64_t seed, const std::string& select_list = "*");
+
+/// Point queries, one per distinct value sampled round-robin.
+Result<std::vector<std::string>> MakePointQueries(
+    const Table& table, const std::string& column, size_t num_queries,
+    const std::string& select_list = "*");
+
+}  // namespace daisy
+
+#endif  // DAISY_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,53 @@
+#include "detect/fd_detector.h"
+
+#include <algorithm>
+
+namespace daisy {
+
+std::vector<FdGroup> DetectFdViolations(const Table& table,
+                                        const DenialConstraint& dc,
+                                        const std::vector<RowId>& rows,
+                                        bool include_clean) {
+  const FdView& fd = dc.fd();
+  GroupMap groups = GroupRowsBy(table, fd.lhs, rows);
+  std::vector<FdGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    // Histogram of rhs values inside the group.
+    std::unordered_map<Value, size_t, ValueHash> hist;
+    for (RowId r : members) {
+      hist[table.cell(r, fd.rhs).original()] += 1;
+    }
+    if (hist.size() <= 1 && !include_clean) continue;
+    FdGroup group;
+    group.lhs_key = key;
+    group.rows = std::move(members);
+    group.rhs_histogram.assign(hist.begin(), hist.end());
+    std::sort(group.rhs_histogram.begin(), group.rhs_histogram.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first.Compare(b.first) < 0;
+              });
+    out.push_back(std::move(group));
+  }
+  // Deterministic order for tests: sort groups by key.
+  std::sort(out.begin(), out.end(), [](const FdGroup& a, const FdGroup& b) {
+    for (size_t i = 0; i < std::min(a.lhs_key.size(), b.lhs_key.size()); ++i) {
+      const int c = a.lhs_key[i].Compare(b.lhs_key[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.lhs_key.size() < b.lhs_key.size();
+  });
+  return out;
+}
+
+size_t CountFdViolatingRows(const Table& table, const DenialConstraint& dc) {
+  size_t count = 0;
+  for (const FdGroup& g :
+       DetectFdViolations(table, dc, table.AllRowIds(), false)) {
+    count += g.total();
+  }
+  return count;
+}
+
+}  // namespace daisy

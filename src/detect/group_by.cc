@@ -1,0 +1,28 @@
+#include "detect/group_by.h"
+
+namespace daisy {
+
+GroupKey MakeGroupKey(const Table& table, RowId r,
+                      const std::vector<size_t>& columns) {
+  GroupKey key;
+  key.reserve(columns.size());
+  for (size_t c : columns) key.push_back(table.cell(r, c).original());
+  return key;
+}
+
+GroupMap GroupRowsBy(const Table& table, const std::vector<size_t>& columns,
+                     const std::vector<RowId>& rows) {
+  GroupMap groups;
+  groups.reserve(rows.size());
+  for (RowId r : rows) {
+    groups[MakeGroupKey(table, r, columns)].push_back(r);
+  }
+  return groups;
+}
+
+GroupMap GroupAllRowsBy(const Table& table,
+                        const std::vector<size_t>& columns) {
+  return GroupRowsBy(table, columns, table.AllRowIds());
+}
+
+}  // namespace daisy

@@ -1,0 +1,86 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace daisy {
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+std::string SelectItem::ToString() const {
+  std::string inner = star ? "*" : col.ToString();
+  std::string out =
+      agg == AggFunc::kNone ? inner
+                            : std::string(AggFuncToString(agg)) + "(" + inner + ")";
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kCmp: {
+      std::ostringstream oss;
+      oss << left.ToString() << " " << CompareOpToString(op) << " ";
+      if (right_is_column) {
+        oss << right_col.ToString();
+      } else if (right_val.is_string()) {
+        oss << "'" << right_val.ToString() << "'";
+      } else {
+        oss << right_val.ToString();
+      }
+      return oss.str();
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::ostringstream oss;
+      oss << "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) oss << (kind == Kind::kAnd ? " AND " : " OR ");
+        oss << children[i]->ToString();
+      }
+      oss << ")";
+      return oss.str();
+    }
+  }
+  return "";
+}
+
+std::string SelectStmt::ToString() const {
+  std::ostringstream oss;
+  oss << "SELECT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << select_list[i].ToString();
+  }
+  oss << " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << tables[i];
+  }
+  if (where != nullptr) oss << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    oss << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << group_by[i].ToString();
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace daisy

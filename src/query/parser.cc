@@ -1,0 +1,375 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace daisy {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kOperator,  // comparison operators
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const std::string& s = input_;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == ',') {
+        tokens.push_back({TokenKind::kComma, ","});
+        ++i;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "("});
+        ++i;
+        continue;
+      }
+      if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")"});
+        ++i;
+        continue;
+      }
+      if (c == '*') {
+        tokens.push_back({TokenKind::kStar, "*"});
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        std::string text;
+        ++i;
+        bool closed = false;
+        while (i < s.size()) {
+          if (s[i] == '\'') {
+            if (i + 1 < s.size() && s[i + 1] == '\'') {
+              text.push_back('\'');
+              i += 2;
+              continue;
+            }
+            closed = true;
+            ++i;
+            break;
+          }
+          text.push_back(s[i]);
+          ++i;
+        }
+        if (!closed) return Status::ParseError("unterminated string literal");
+        tokens.push_back({TokenKind::kString, std::move(text)});
+        continue;
+      }
+      if (c == '<' || c == '>' || c == '=' || c == '!') {
+        std::string op(1, c);
+        if (i + 1 < s.size() &&
+            (s[i + 1] == '=' || (c == '<' && s[i + 1] == '>'))) {
+          op.push_back(s[i + 1]);
+          ++i;
+        }
+        ++i;
+        tokens.push_back({TokenKind::kOperator, std::move(op)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+        std::string num(1, c);
+        ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                ((s[i] == '+' || s[i] == '-') &&
+                 (s[i - 1] == 'e' || s[i - 1] == 'E')))) {
+          num.push_back(s[i]);
+          ++i;
+        }
+        tokens.push_back({TokenKind::kNumber, std::move(num)});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident(1, c);
+        ++i;
+        while (i < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                s[i] == '_' || s[i] == '.')) {
+          ident.push_back(s[i]);
+          ++i;
+        }
+        tokens.push_back({TokenKind::kIdentifier, std::move(ident)});
+        continue;
+      }
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in query");
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    DAISY_RETURN_IF_ERROR(ExpectKeyword("select"));
+    DAISY_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    DAISY_RETURN_IF_ERROR(ExpectKeyword("from"));
+    DAISY_RETURN_IF_ERROR(ParseTableList(&stmt));
+    if (IsKeyword("where")) {
+      Advance();
+      DAISY_ASSIGN_OR_RETURN(stmt.where, ParseOrExpr());
+    }
+    if (IsKeyword("group")) {
+      Advance();
+      DAISY_RETURN_IF_ERROR(ExpectKeyword("by"));
+      DAISY_RETURN_IF_ERROR(ParseGroupBy(&stmt));
+    }
+    if (Cur().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after query: '" + Cur().text +
+                                "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool IsKeyword(const std::string& kw) const {
+    return Cur().kind == TokenKind::kIdentifier && ToLower(Cur().text) == kw;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!IsKeyword(kw)) {
+      return Status::ParseError("expected '" + kw + "', got '" + Cur().text +
+                                "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  static ColumnRef MakeColumnRef(const std::string& ident) {
+    ColumnRef ref;
+    const size_t dot = ident.find('.');
+    if (dot == std::string::npos) {
+      ref.column = ident;
+    } else {
+      ref.table = ident.substr(0, dot);
+      ref.column = ident.substr(dot + 1);
+    }
+    return ref;
+  }
+
+  static Result<AggFunc> AggFromName(const std::string& name) {
+    const std::string n = ToLower(name);
+    if (n == "count") return AggFunc::kCount;
+    if (n == "sum") return AggFunc::kSum;
+    if (n == "avg") return AggFunc::kAvg;
+    if (n == "min") return AggFunc::kMin;
+    if (n == "max") return AggFunc::kMax;
+    return Status::ParseError("unknown aggregate '" + name + "'");
+  }
+
+  Status ParseSelectList(SelectStmt* stmt) {
+    while (true) {
+      SelectItem item;
+      if (Cur().kind == TokenKind::kStar) {
+        item.star = true;
+        Advance();
+      } else if (Cur().kind == TokenKind::kIdentifier) {
+        const std::string ident = Cur().text;
+        Advance();
+        if (Cur().kind == TokenKind::kLParen) {
+          DAISY_ASSIGN_OR_RETURN(item.agg, AggFromName(ident));
+          Advance();
+          if (Cur().kind == TokenKind::kStar) {
+            item.star = true;
+            Advance();
+          } else if (Cur().kind == TokenKind::kIdentifier) {
+            item.col = MakeColumnRef(Cur().text);
+            Advance();
+          } else {
+            return Status::ParseError("expected column or * in aggregate");
+          }
+          if (Cur().kind != TokenKind::kRParen) {
+            return Status::ParseError("expected ) after aggregate");
+          }
+          Advance();
+        } else {
+          item.col = MakeColumnRef(ident);
+        }
+      } else {
+        return Status::ParseError("expected select item, got '" + Cur().text +
+                                  "'");
+      }
+      if (IsKeyword("as")) {
+        Advance();
+        if (Cur().kind != TokenKind::kIdentifier) {
+          return Status::ParseError("expected alias after AS");
+        }
+        item.alias = Cur().text;
+        Advance();
+      }
+      stmt->select_list.push_back(std::move(item));
+      if (Cur().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableList(SelectStmt* stmt) {
+    while (true) {
+      if (Cur().kind != TokenKind::kIdentifier) {
+        return Status::ParseError("expected table name, got '" + Cur().text +
+                                  "'");
+      }
+      stmt->tables.push_back(Cur().text);
+      Advance();
+      if (Cur().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SelectStmt* stmt) {
+    while (true) {
+      if (Cur().kind != TokenKind::kIdentifier) {
+        return Status::ParseError("expected group-by column");
+      }
+      stmt->group_by.push_back(MakeColumnRef(Cur().text));
+      Advance();
+      if (Cur().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOrExpr() {
+    DAISY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAndExpr());
+    if (!IsKeyword("or")) return left;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kOr;
+    node->children.push_back(std::move(left));
+    while (IsKeyword("or")) {
+      Advance();
+      DAISY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseAndExpr());
+      node->children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAndExpr() {
+    DAISY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAtom());
+    if (!IsKeyword("and")) return left;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kAnd;
+    node->children.push_back(std::move(left));
+    while (IsKeyword("and")) {
+      Advance();
+      DAISY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseAtom());
+      node->children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAtom() {
+    if (Cur().kind == TokenKind::kLParen) {
+      Advance();
+      DAISY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOrExpr());
+      if (Cur().kind != TokenKind::kRParen) {
+        return Status::ParseError("expected ) in WHERE clause");
+      }
+      Advance();
+      return inner;
+    }
+    if (Cur().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected column in WHERE, got '" +
+                                Cur().text + "'");
+    }
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCmp;
+    node->left = MakeColumnRef(Cur().text);
+    Advance();
+    if (Cur().kind != TokenKind::kOperator) {
+      return Status::ParseError("expected comparison operator, got '" +
+                                Cur().text + "'");
+    }
+    DAISY_ASSIGN_OR_RETURN(node->op, ParseCompareOp(Cur().text));
+    Advance();
+    switch (Cur().kind) {
+      case TokenKind::kIdentifier:
+        node->right_is_column = true;
+        node->right_col = MakeColumnRef(Cur().text);
+        break;
+      case TokenKind::kNumber: {
+        const std::string& num = Cur().text;
+        if (num.find('.') != std::string::npos ||
+            num.find('e') != std::string::npos ||
+            num.find('E') != std::string::npos) {
+          DAISY_ASSIGN_OR_RETURN(node->right_val,
+                                 Value::Parse(num, ValueType::kDouble));
+        } else {
+          DAISY_ASSIGN_OR_RETURN(node->right_val,
+                                 Value::Parse(num, ValueType::kInt));
+        }
+        break;
+      }
+      case TokenKind::kString:
+        node->right_val = Value(Cur().text);
+        break;
+      default:
+        return Status::ParseError("expected literal or column after operator");
+    }
+    Advance();
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseQuery(const std::string& sql) {
+  Lexer lexer(sql);
+  DAISY_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace daisy

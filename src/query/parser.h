@@ -1,0 +1,19 @@
+// Recursive-descent parser for the Section-5 query template.
+
+#ifndef DAISY_QUERY_PARSER_H_
+#define DAISY_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace daisy {
+
+/// Parses one SELECT statement. Keywords are case-insensitive; string
+/// literals use single quotes; OR binds looser than AND; parentheses group.
+Result<SelectStmt> ParseQuery(const std::string& sql);
+
+}  // namespace daisy
+
+#endif  // DAISY_QUERY_PARSER_H_

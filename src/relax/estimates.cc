@@ -1,0 +1,43 @@
+#include "relax/estimates.h"
+
+#include <cmath>
+
+namespace daisy {
+
+namespace {
+
+// log C(n, k) via lgamma; returns -inf for invalid k.
+double LogChoose(size_t n, size_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double ProbAtLeastOneViolation(size_t n, size_t num_vio, size_t relaxed_size) {
+  if (relaxed_size == 0 || num_vio == 0) return 0.0;
+  if (relaxed_size > n) relaxed_size = n;
+  if (num_vio >= n) return 1.0;
+  // Pr(0 violations) = C(n - vio, |AR|) / C(n, |AR|)  (hypergeometric).
+  const double log_p0 =
+      LogChoose(n - num_vio, relaxed_size) - LogChoose(n, relaxed_size);
+  if (!std::isfinite(log_p0)) return 1.0;  // C(n-vio, |AR|) = 0
+  return 1.0 - std::exp(log_p0);
+}
+
+size_t RelaxedResultUpperBound(
+    const std::vector<AttributeFrequencies>& attrs) {
+  size_t total = 0;
+  for (const AttributeFrequencies& attr : attrs) {
+    size_t dataset_sum = 0;
+    size_t result_sum = 0;
+    for (size_t f : attr.dataset_freq) dataset_sum += f;
+    for (size_t f : attr.result_freq) result_sum += f;
+    if (dataset_sum > result_sum) total += dataset_sum - result_sum;
+  }
+  return total;
+}
+
+}  // namespace daisy

@@ -1,0 +1,34 @@
+// Analytical estimates for the relaxation process (Lemmas 2 and 3).
+
+#ifndef DAISY_RELAX_ESTIMATES_H_
+#define DAISY_RELAX_ESTIMATES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace daisy {
+
+/// Lemma 2: probability that a relaxed answer of size `relaxed_size`,
+/// drawn from a dataset of `n` tuples containing `num_vio` violating
+/// tuples, contains at least one violation:
+///   Pr(>=1) = 1 - C(n - #vio, |AR|) / C(n, |AR|).
+/// Computed in log space; exact within double precision.
+double ProbAtLeastOneViolation(size_t n, size_t num_vio, size_t relaxed_size);
+
+/// One attribute's frequency evidence for Lemma 3: the total dataset
+/// frequency and query-result frequency of each distinct value appearing in
+/// the result.
+struct AttributeFrequencies {
+  /// D_ij: dataset-wide frequency of result value j of attribute i.
+  std::vector<size_t> dataset_freq;
+  /// Dq_ij: in-result frequency of the same value.
+  std::vector<size_t> result_freq;
+};
+
+/// Lemma 3: upper bound of the relaxed-result growth per iteration,
+///   R = sum_i ( sum_j D_ij - sum_j Dq_ij ).
+size_t RelaxedResultUpperBound(const std::vector<AttributeFrequencies>& attrs);
+
+}  // namespace daisy
+
+#endif  // DAISY_RELAX_ESTIMATES_H_

@@ -1,0 +1,144 @@
+#include "relax/relaxation.h"
+
+#include <unordered_set>
+
+#include "detect/group_by.h"
+
+namespace daisy {
+
+namespace {
+
+using KeySet = std::unordered_set<GroupKey, GroupKeyHash, GroupKeyEq>;
+using ValueSet = std::unordered_set<Value, ValueHash>;
+
+}  // namespace
+
+RelaxResult RelaxFdResult(const Table& table, const DenialConstraint& dc,
+                          const std::vector<RowId>& answer,
+                          const std::vector<RowId>& universe) {
+  const FdView& fd = dc.fd();
+  RelaxResult out;
+
+  // Value sets of the (growing) relaxed answer.
+  KeySet lhs_keys;
+  ValueSet rhs_vals;
+  std::vector<bool> in_answer(table.num_rows(), false);
+  for (RowId r : answer) in_answer[r] = true;
+
+  // Frontier: rows whose lhs/rhs values have not been folded in yet.
+  std::vector<RowId> frontier = answer;
+  // unvisited = universe - answer (Algorithm 1 line 2).
+  std::vector<RowId> unvisited;
+  unvisited.reserve(universe.size());
+  for (RowId r : universe) {
+    if (!in_answer[r]) unvisited.push_back(r);
+  }
+
+  while (!frontier.empty()) {
+    bool grew = false;
+    for (RowId r : frontier) {
+      if (lhs_keys.insert(MakeGroupKey(table, r, fd.lhs)).second) grew = true;
+      if (rhs_vals.insert(table.cell(r, fd.rhs).original()).second) {
+        grew = true;
+      }
+    }
+    frontier.clear();
+    if (!grew && out.iterations > 0) break;
+    ++out.iterations;
+
+    // One pass over the remaining unvisited tuples: pick up rows matching
+    // the answer's lhs values (line 6) or rhs values (line 8).
+    std::vector<RowId> still_unvisited;
+    still_unvisited.reserve(unvisited.size());
+    for (RowId r : unvisited) {
+      ++out.tuples_scanned;
+      const bool lhs_match = lhs_keys.count(MakeGroupKey(table, r, fd.lhs)) > 0;
+      const bool rhs_match =
+          !lhs_match && rhs_vals.count(table.cell(r, fd.rhs).original()) > 0;
+      if (lhs_match || rhs_match) {
+        frontier.push_back(r);
+        out.extra.push_back(r);
+      } else {
+        still_unvisited.push_back(r);
+      }
+    }
+    unvisited.swap(still_unvisited);
+  }
+  return out;
+}
+
+RelaxResult RelaxFdResult(const Table& table, const DenialConstraint& dc,
+                          const std::vector<RowId>& answer) {
+  return RelaxFdResult(table, dc, answer, table.AllRowIds());
+}
+
+FdRelaxIndex::FdRelaxIndex(const Table& table, const FdView& fd) {
+  by_lhs_.reserve(table.num_rows());
+  by_rhs_.reserve(table.num_rows());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    by_lhs_[MakeGroupKey(table, r, fd.lhs)].push_back(r);
+    by_rhs_[table.cell(r, fd.rhs).original()].push_back(r);
+  }
+}
+
+RelaxResult FdRelaxIndex::Relax(const Table& table, const FdView& fd,
+                                const std::vector<RowId>& answer,
+                                const DirtyFilter* dirty) const {
+  RelaxResult out;
+  std::vector<bool> in_scope(table.num_rows(), false);
+  for (RowId r : answer) in_scope[r] = true;
+
+  // With a dirty filter, only rows that will be repaired (or carry dirty
+  // values) seed further expansion.
+  auto expandable = [&](RowId r) {
+    if (dirty == nullptr) return true;
+    if (dirty->already_checked != nullptr && (*dirty->already_checked)[r]) {
+      return false;  // fixes already complete
+    }
+    if (dirty->lhs_keys == nullptr) return true;
+    return dirty->lhs_keys->count(MakeGroupKey(table, r, fd.lhs)) > 0;
+  };
+
+  KeySet seen_lhs;
+  ValueSet seen_rhs;
+  std::vector<RowId> frontier = answer;
+  while (!frontier.empty()) {
+    ++out.iterations;
+    std::vector<RowId> next;
+    for (RowId r : frontier) {
+      if (!expandable(r)) continue;
+      GroupKey key = MakeGroupKey(table, r, fd.lhs);
+      if (seen_lhs.insert(key).second) {
+        auto it = by_lhs_.find(key);
+        if (it != by_lhs_.end()) {
+          for (RowId o : it->second) {
+            ++out.tuples_scanned;
+            if (!in_scope[o]) {
+              in_scope[o] = true;
+              out.extra.push_back(o);
+              next.push_back(o);
+            }
+          }
+        }
+      }
+      const Value& rhs = table.cell(r, fd.rhs).original();
+      if (seen_rhs.insert(rhs).second) {
+        auto it = by_rhs_.find(rhs);
+        if (it != by_rhs_.end()) {
+          for (RowId o : it->second) {
+            ++out.tuples_scanned;
+            if (!in_scope[o]) {
+              in_scope[o] = true;
+              out.extra.push_back(o);
+              next.push_back(o);
+            }
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return out;
+}
+
+}  // namespace daisy

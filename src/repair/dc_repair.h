@@ -1,0 +1,34 @@
+// Holistic probabilistic repair of general DC violations (Section 4.2,
+// following [10]).
+//
+// A violating oriented pair satisfies every atom of the DC. A fix must
+// invert at least one atom; the minimal inversion sets come from the SAT
+// formulation (repair/sat.h). For each invertible atom the affected cell
+// either keeps its original value or takes a *range* candidate enforcing
+// the inverted condition against the partner tuple's value (Example 5:
+// t2.salary ∈ {3000, ≤2000} each 50%). Probabilities are frequency-based
+// over the accumulated fixes of a cell.
+
+#ifndef DAISY_REPAIR_DC_REPAIR_H_
+#define DAISY_REPAIR_DC_REPAIR_H_
+
+#include <vector>
+
+#include "constraints/denial_constraint.h"
+#include "detect/theta_join.h"
+#include "repair/fd_repair.h"
+#include "repair/provenance.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// Repairs the given violating pairs of a general DC in place, recording
+/// provenance. Pairs must be oriented (pair.t1 binds the DC's t1).
+Result<RepairStats> RepairDcViolations(
+    Table* table, const DenialConstraint& dc,
+    const std::vector<ViolationPair>& violations,
+    ProvenanceStore* provenance);
+
+}  // namespace daisy
+
+#endif  // DAISY_REPAIR_DC_REPAIR_H_

@@ -1,0 +1,79 @@
+#include "repair/fd_repair.h"
+
+#include "detect/fd_detector.h"
+#include "detect/group_by.h"
+
+namespace daisy {
+
+Result<RepairStats> RepairFdViolations(Table* table,
+                                       const DenialConstraint& dc,
+                                       const std::vector<RowId>& scope_rows,
+                                       ProvenanceStore* provenance) {
+  if (!dc.IsFd()) {
+    return Status::InvalidArgument("RepairFdViolations requires an FD: " +
+                                   dc.ToString());
+  }
+  const FdView& fd = dc.fd();
+  RepairStats stats;
+
+  const std::vector<FdGroup> groups =
+      DetectFdViolations(*table, dc, scope_rows, /*include_clean=*/false);
+  if (groups.empty()) return stats;
+
+  // Index rows by rhs value for the lhs-candidate distributions
+  // P(lhs | rhs).
+  GroupMap rhs_groups = GroupRowsBy(*table, {fd.rhs}, scope_rows);
+
+  for (const FdGroup& group : groups) {
+    ++stats.violating_groups;
+    for (RowId r : group.rows) {
+      // Skip tuples this rule already repaired: by Lemma 1 the fixes
+      // computed from the relaxed result were already complete.
+      if (provenance->HasRecord(r, fd.rhs, dc.name())) continue;
+      ++stats.tuples_repaired;
+
+      // Instance "lhs clean": rhs candidates = P(rhs | lhs), the in-group
+      // rhs histogram (pair tag 0).
+      {
+        RepairRecord rec;
+        rec.rule = dc.name();
+        rec.pair_tag = 0;
+        rec.conflicting_rows = group.rows;
+        for (const auto& [value, count] : group.rhs_histogram) {
+          rec.sources.push_back(
+              {value, static_cast<double>(count), CandidateKind::kPoint});
+        }
+        provenance->Record(table, r, fd.rhs, std::move(rec));
+        ++stats.cells_repaired;
+      }
+
+      // Instance "rhs clean": per-attribute lhs candidates = P(lhs | rhs),
+      // the histogram over tuples sharing r's rhs (pair tag 1). Attributes
+      // whose distribution is a single value stay clean.
+      const Value& rhs_val = table->cell(r, fd.rhs).original();
+      auto it = rhs_groups.find(GroupKey{rhs_val});
+      if (it == rhs_groups.end()) continue;
+      const std::vector<RowId>& same_rhs = it->second;
+      for (size_t lhs_col : fd.lhs) {
+        std::unordered_map<Value, size_t, ValueHash> hist;
+        for (RowId o : same_rhs) {
+          hist[table->cell(o, lhs_col).original()] += 1;
+        }
+        if (hist.size() <= 1) continue;
+        RepairRecord rec;
+        rec.rule = dc.name();
+        rec.pair_tag = 1;
+        rec.conflicting_rows = same_rhs;
+        for (const auto& [value, count] : hist) {
+          rec.sources.push_back(
+              {value, static_cast<double>(count), CandidateKind::kPoint});
+        }
+        provenance->Record(table, r, lhs_col, std::move(rec));
+        ++stats.cells_repaired;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace daisy

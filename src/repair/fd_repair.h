@@ -1,0 +1,43 @@
+// Probabilistic repair of FD violations (Section 4.1).
+//
+// For an FD lhs -> rhs and an erroneous tuple t, the candidate rhs values
+// are the rhs values of the tuples sharing t's lhs (probability
+// P(rhs | lhs) = in-group frequency) and the candidate lhs values are the
+// lhs values of the tuples sharing t's rhs (P(lhs | rhs)). Each repaired
+// tuple therefore has two instances — "lhs clean" and "rhs clean" — tagged
+// by candidate-pair ids inside the attribute-level cells (Example 2).
+//
+// The candidate distributions are computed over the *scope* rows handed in
+// by the caller. When the scope is a relaxed query result, Lemmas 1-2
+// guarantee the scope contains every correlated tuple, so the fixes equal
+// the offline fixes computed over the whole dataset.
+
+#ifndef DAISY_REPAIR_FD_REPAIR_H_
+#define DAISY_REPAIR_FD_REPAIR_H_
+
+#include <vector>
+
+#include "constraints/denial_constraint.h"
+#include "repair/provenance.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// Counters reported by a repair pass.
+struct RepairStats {
+  size_t violating_groups = 0;
+  size_t tuples_repaired = 0;
+  size_t cells_repaired = 0;
+};
+
+/// Detects FD violations among `scope_rows` and repairs them in place,
+/// recording provenance. Requires dc.IsFd(). Cells already repaired by this
+/// rule are skipped (their fixes were complete by Lemma 1).
+Result<RepairStats> RepairFdViolations(Table* table,
+                                       const DenialConstraint& dc,
+                                       const std::vector<RowId>& scope_rows,
+                                       ProvenanceStore* provenance);
+
+}  // namespace daisy
+
+#endif  // DAISY_REPAIR_FD_REPAIR_H_

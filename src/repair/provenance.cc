@@ -1,0 +1,190 @@
+#include "repair/provenance.h"
+
+#include <algorithm>
+
+namespace daisy {
+
+namespace {
+
+bool IsRangeKind(CandidateKind kind) {
+  return kind != CandidateKind::kPoint;
+}
+
+// True if bound `a` is a tighter constraint than `b` for `kind`: for the
+// less-than family smaller bounds dominate, for greater-than larger ones.
+bool TighterBound(CandidateKind kind, const Value& a, const Value& b) {
+  switch (kind) {
+    case CandidateKind::kLessThan:
+    case CandidateKind::kLessEq:
+      return a < b;
+    case CandidateKind::kGreaterThan:
+    case CandidateKind::kGreaterEq:
+      return a > b;
+    case CandidateKind::kPoint:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ProvenanceStore::Record(Table* table, RowId row, size_t col,
+                             RepairRecord record) {
+  std::vector<RepairRecord>& recs = records_[{row, col}];
+  bool replaced = false;
+  for (RepairRecord& r : recs) {
+    if (r.rule == record.rule && r.pair_tag == record.pair_tag) {
+      r = std::move(record);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) recs.push_back(std::move(record));
+  RebuildCell(table, row, col);
+}
+
+void ProvenanceStore::AppendSources(
+    Table* table, RowId row, size_t col, const std::string& rule,
+    int32_t pair_tag, const std::vector<CandidateSource>& sources,
+    const std::vector<RowId>& conflicting_rows) {
+  std::vector<RepairRecord>& recs = records_[{row, col}];
+  RepairRecord* target = nullptr;
+  for (RepairRecord& r : recs) {
+    if (r.rule == rule && r.pair_tag == pair_tag) {
+      target = &r;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    recs.push_back(RepairRecord{rule, pair_tag, {}, {}});
+    target = &recs.back();
+  }
+  for (const CandidateSource& src : sources) {
+    bool merged = false;
+    for (CandidateSource& existing : target->sources) {
+      if (existing.kind != src.kind) continue;
+      if (IsRangeKind(src.kind)) {
+        // Range candidates of the same direction consolidate to the
+        // tightest bound (a value satisfying the tightest satisfies all
+        // contributing constraints); frequencies accumulate.
+        existing.count += src.count;
+        if (TighterBound(src.kind, src.value, existing.value)) {
+          existing.value = src.value;
+        }
+        merged = true;
+        break;
+      }
+      if (existing.value == src.value) {
+        existing.count += src.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) target->sources.push_back(src);
+  }
+  for (RowId r : conflicting_rows) {
+    bool present = false;
+    for (RowId existing : target->conflicting_rows) {
+      if (existing == r) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) target->conflicting_rows.push_back(r);
+  }
+  RebuildCell(table, row, col);
+}
+
+bool ProvenanceStore::HasRecord(RowId row, size_t col,
+                                const std::string& rule) const {
+  auto it = records_.find({row, col});
+  if (it == records_.end()) return false;
+  for (const RepairRecord& r : it->second) {
+    if (r.rule == rule) return true;
+  }
+  return false;
+}
+
+const std::vector<RepairRecord>* ProvenanceStore::RecordsFor(
+    RowId row, size_t col) const {
+  auto it = records_.find({row, col});
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void ProvenanceStore::MergeFrom(const ProvenanceStore& other,
+                                Table* table) {
+  for (const auto& [cell, recs] : other.records_) {
+    std::vector<RepairRecord>& mine = records_[cell];
+    for (const RepairRecord& rec : recs) {
+      bool present = false;
+      for (const RepairRecord& existing : mine) {
+        if (existing.rule == rec.rule && existing.pair_tag == rec.pair_tag) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) mine.push_back(rec);
+    }
+    RebuildCell(table, cell.first, cell.second);
+  }
+}
+
+void ProvenanceStore::RebuildCell(Table* table, RowId row, size_t col) const {
+  auto it = records_.find({row, col});
+  Cell& cell = table->mutable_cell(row, col);
+  if (it == records_.end() || it->second.empty()) {
+    cell.ClearCandidates();
+    return;
+  }
+  // Union sources across rules: key = (pair_tag, kind, value), counts sum.
+  struct Merged {
+    int32_t tag;
+    CandidateKind kind;
+    Value value;
+    double count;
+  };
+  std::vector<Merged> merged;
+  for (const RepairRecord& rec : it->second) {
+    for (const CandidateSource& src : rec.sources) {
+      bool found = false;
+      for (Merged& m : merged) {
+        if (m.tag != rec.pair_tag || m.kind != src.kind) continue;
+        if (IsRangeKind(src.kind)) {
+          m.count += src.count;
+          if (TighterBound(src.kind, src.value, m.value)) m.value = src.value;
+          found = true;
+          break;
+        }
+        if (m.value == src.value) {
+          m.count += src.count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        merged.push_back({rec.pair_tag, src.kind, src.value, src.count});
+      }
+    }
+  }
+  // Deterministic order regardless of record arrival: sort by tag, kind,
+  // then value.
+  std::sort(merged.begin(), merged.end(), [](const Merged& a, const Merged& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.value.Compare(b.value) < 0;
+  });
+  std::vector<Candidate> cands;
+  cands.reserve(merged.size());
+  for (const Merged& m : merged) {
+    Candidate c;
+    c.value = m.value;
+    c.prob = m.count;
+    c.pair_id = m.tag;
+    c.kind = m.kind;
+    cands.push_back(std::move(c));
+  }
+  cell.set_candidates(std::move(cands));
+  cell.Normalize();
+}
+
+}  // namespace daisy

@@ -1,0 +1,90 @@
+// Per-cell repair provenance.
+//
+// Every repair is recorded as (rule, side tag, value frequencies) for the
+// affected cell. Cells are rebuilt from the union of their records, which
+// makes multi-rule merging commutative by construction (Lemma 4: the merged
+// fix is the union of per-rule candidate/conflict sets) and lets a new rule
+// arrive later and merge with previously computed fixes without recomputing
+// them from scratch (Table 7 experiment).
+
+#ifndef DAISY_REPAIR_PROVENANCE_H_
+#define DAISY_REPAIR_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace daisy {
+
+/// One candidate value contributed by one rule, with its observed frequency
+/// (count of supporting correlated tuples).
+struct CandidateSource {
+  Value value;
+  double count = 0;
+  CandidateKind kind = CandidateKind::kPoint;
+};
+
+/// The outcome of repairing one cell under one rule.
+struct RepairRecord {
+  std::string rule;
+  /// Candidate-pair tag: 0 = this cell's candidates assume the *other* FD
+  /// side is clean (rhs repair), 1 = lhs repair, matching the two tuple
+  /// instances of Section 4.1. General-DC range fixes use tag 0.
+  int32_t pair_tag = 0;
+  std::vector<CandidateSource> sources;
+  /// Row ids of the conflicting tuples this fix was derived from (the T_i
+  /// sets in Lemma 4) — kept for inference and audits.
+  std::vector<RowId> conflicting_rows;
+};
+
+/// Records repairs per (row, column) cell of a single table and rebuilds the
+/// probabilistic candidate sets from them.
+class ProvenanceStore {
+ public:
+  ProvenanceStore() = default;
+
+  /// Adds (or replaces, if the same rule already repaired this cell) a
+  /// record, then rebuilds the cell in `table`.
+  void Record(Table* table, RowId row, size_t col, RepairRecord record);
+
+  /// Accumulates sources into the (rule, tag) record of a cell — counts for
+  /// already-present (kind, value) sources add up. Used by DC repair, where
+  /// successive violating pairs each contribute fixes to the same cell.
+  void AppendSources(Table* table, RowId row, size_t col,
+                     const std::string& rule, int32_t pair_tag,
+                     const std::vector<CandidateSource>& sources,
+                     const std::vector<RowId>& conflicting_rows);
+
+  /// True if `rule` has already repaired this cell.
+  bool HasRecord(RowId row, size_t col, const std::string& rule) const;
+
+  const std::vector<RepairRecord>* RecordsFor(RowId row, size_t col) const;
+
+  /// Merges all records of `other` into this store (records for a
+  /// (cell, rule, tag) already present here are kept) and rebuilds the
+  /// affected cells of `table`. Enables carrying fixes across cleaning
+  /// sessions when rules arrive incrementally (Table 7).
+  void MergeFrom(const ProvenanceStore& other, Table* table);
+
+  /// Number of distinct cells with at least one record.
+  size_t NumRepairedCells() const { return records_.size(); }
+
+  /// Re-derives the candidate set of a cell from all its records: union by
+  /// (tag, kind, value) with counts summed across rules, then normalized
+  /// over the cell. The result is independent of record insertion order.
+  void RebuildCell(Table* table, RowId row, size_t col) const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  using CellKey = std::pair<RowId, size_t>;
+  std::map<CellKey, std::vector<RepairRecord>> records_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_REPAIR_PROVENANCE_H_

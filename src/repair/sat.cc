@@ -1,0 +1,212 @@
+#include "repair/sat.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace daisy {
+
+namespace {
+
+// Assignment state: 0 = unassigned, 1 = true, -1 = false.
+using AssignVec = std::vector<int8_t>;
+
+bool LiteralTrue(Literal lit, const AssignVec& assign) {
+  const int v = std::abs(lit);
+  return assign[v] == (lit > 0 ? 1 : -1);
+}
+
+bool LiteralFalse(Literal lit, const AssignVec& assign) {
+  const int v = std::abs(lit);
+  return assign[v] == (lit > 0 ? -1 : 1);
+}
+
+enum class PropagateOutcome { kOk, kConflict };
+
+// Unit propagation to fixpoint. Mutates `assign`.
+PropagateOutcome Propagate(const CnfFormula& f, AssignVec* assign,
+                           size_t* propagations) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : f.clauses) {
+      int unassigned = 0;
+      Literal last_free = 0;
+      bool satisfied = false;
+      for (Literal lit : clause) {
+        if (LiteralTrue(lit, *assign)) {
+          satisfied = true;
+          break;
+        }
+        if (!LiteralFalse(lit, *assign)) {
+          ++unassigned;
+          last_free = lit;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) return PropagateOutcome::kConflict;
+      if (unassigned == 1) {
+        (*assign)[std::abs(last_free)] = last_free > 0 ? 1 : -1;
+        ++*propagations;
+        changed = true;
+      }
+    }
+  }
+  return PropagateOutcome::kOk;
+}
+
+// Pure-literal elimination: assign variables that appear with one polarity
+// only among not-yet-satisfied clauses.
+void AssignPureLiterals(const CnfFormula& f, AssignVec* assign) {
+  std::vector<int8_t> polarity(assign->size(), 0);  // 0 none, 1 +, -1 -, 2 both
+  for (const Clause& clause : f.clauses) {
+    bool satisfied = false;
+    for (Literal lit : clause) {
+      if (LiteralTrue(lit, *assign)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    for (Literal lit : clause) {
+      if (LiteralFalse(lit, *assign)) continue;
+      const int v = std::abs(lit);
+      const int8_t p = lit > 0 ? 1 : -1;
+      if (polarity[v] == 0) {
+        polarity[v] = p;
+      } else if (polarity[v] != p) {
+        polarity[v] = 2;
+      }
+    }
+  }
+  for (size_t v = 1; v < assign->size(); ++v) {
+    if ((*assign)[v] == 0 && (polarity[v] == 1 || polarity[v] == -1)) {
+      (*assign)[v] = polarity[v];
+    }
+  }
+}
+
+struct DpllContext {
+  const CnfFormula* formula;
+  size_t* decisions;
+  size_t* propagations;
+};
+
+bool Dpll(DpllContext& ctx, AssignVec assign, AssignVec* model) {
+  if (Propagate(*ctx.formula, &assign, ctx.propagations) ==
+      PropagateOutcome::kConflict) {
+    return false;
+  }
+  AssignPureLiterals(*ctx.formula, &assign);
+  // Find first unassigned variable.
+  int branch_var = 0;
+  for (size_t v = 1; v < assign.size(); ++v) {
+    if (assign[v] == 0) {
+      branch_var = static_cast<int>(v);
+      break;
+    }
+  }
+  if (branch_var == 0) {
+    // Full assignment; all clauses must be satisfied after propagation —
+    // verify (pure-literal shortcuts keep this cheap and safe).
+    for (const Clause& clause : *&ctx.formula->clauses) {
+      bool ok = false;
+      for (Literal lit : clause) {
+        if (LiteralTrue(lit, assign)) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    *model = assign;
+    return true;
+  }
+  ++*ctx.decisions;
+  AssignVec with_true = assign;
+  with_true[branch_var] = 1;
+  if (Dpll(ctx, std::move(with_true), model)) return true;
+  assign[branch_var] = -1;
+  return Dpll(ctx, std::move(assign), model);
+}
+
+Status ValidateFormula(const CnfFormula& f) {
+  if (f.num_vars < 0) return Status::InvalidArgument("negative num_vars");
+  for (const Clause& clause : f.clauses) {
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty clause (trivially UNSAT input)");
+    }
+    for (Literal lit : clause) {
+      if (lit == 0 || std::abs(lit) > f.num_vars) {
+        return Status::InvalidArgument("literal out of range: " +
+                                       std::to_string(lit));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SatResult> SatSolver::Solve(const CnfFormula& formula) {
+  DAISY_RETURN_IF_ERROR(ValidateFormula(formula));
+  decisions_ = 0;
+  propagations_ = 0;
+  AssignVec assign(formula.num_vars + 1, 0);
+  AssignVec model;
+  DpllContext ctx{&formula, &decisions_, &propagations_};
+  SatResult result;
+  result.satisfiable = Dpll(ctx, std::move(assign), &model);
+  if (result.satisfiable) {
+    result.assignment.assign(formula.num_vars + 1, false);
+    for (int v = 1; v <= formula.num_vars; ++v) {
+      result.assignment[v] = model[v] == 1;  // unassigned defaults to false
+    }
+  }
+  return result;
+}
+
+Result<std::vector<std::vector<bool>>> SatSolver::EnumerateModels(
+    const CnfFormula& formula, size_t limit) {
+  DAISY_RETURN_IF_ERROR(ValidateFormula(formula));
+  std::vector<std::vector<bool>> models;
+  CnfFormula work = formula;
+  while (models.size() < limit) {
+    DAISY_ASSIGN_OR_RETURN(SatResult r, Solve(work));
+    if (!r.satisfiable) break;
+    models.push_back(r.assignment);
+    // Block this model and continue.
+    Clause blocker;
+    for (int v = 1; v <= work.num_vars; ++v) {
+      blocker.push_back(r.assignment[v] ? -v : v);
+    }
+    if (blocker.empty()) break;
+    work.clauses.push_back(std::move(blocker));
+  }
+  return models;
+}
+
+CnfFormula BuildDcRepairFormula(size_t num_atoms) {
+  CnfFormula f;
+  f.num_vars = static_cast<int32_t>(num_atoms);
+  Clause clause;
+  clause.reserve(num_atoms);
+  for (size_t i = 1; i <= num_atoms; ++i) {
+    clause.push_back(-static_cast<Literal>(i));
+  }
+  f.clauses.push_back(std::move(clause));
+  return f;
+}
+
+std::vector<std::vector<size_t>> MinimalInversionSets(
+    size_t num_atoms, const std::vector<bool>& must_keep) {
+  // For the single-clause repair formula, a minimal inversion set is any
+  // single invertible atom. If every atom is pinned, there is no repair.
+  std::vector<std::vector<size_t>> out;
+  for (size_t i = 0; i < num_atoms; ++i) {
+    if (i < must_keep.size() && must_keep[i]) continue;
+    out.push_back({i});
+  }
+  return out;
+}
+
+}  // namespace daisy

@@ -1,0 +1,75 @@
+// A small DPLL SAT solver.
+//
+// Holistic DC repair maps the violated conjunction p1 ∧ ... ∧ pm of a DC to
+// a boolean formula whose models describe which atoms may stay true and
+// which must invert their condition for the constraint ¬(p1 ∧ ... ∧ pm) to
+// hold (Section 4.2, [7][11]). The instances are tiny (m atoms), but the
+// solver is a complete DPLL with unit propagation and pure-literal
+// elimination, usable as a general substrate.
+
+#ifndef DAISY_REPAIR_SAT_H_
+#define DAISY_REPAIR_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace daisy {
+
+/// A literal: variable index (1-based) with sign. +v means v true, -v false.
+using Literal = int32_t;
+
+/// A clause: disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// CNF formula over variables 1..num_vars.
+struct CnfFormula {
+  int32_t num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// The result of a SAT call.
+struct SatResult {
+  bool satisfiable = false;
+  /// assignment[v] for v in 1..num_vars (index 0 unused). Valid iff
+  /// satisfiable.
+  std::vector<bool> assignment;
+};
+
+/// Complete DPLL solver with unit propagation and pure-literal elimination.
+class SatSolver {
+ public:
+  /// Decides satisfiability. Fails on malformed input (zero or
+  /// out-of-range literals).
+  Result<SatResult> Solve(const CnfFormula& formula);
+
+  /// Enumerates up to `limit` models of `formula` (each as an assignment
+  /// vector). Deterministic order.
+  Result<std::vector<std::vector<bool>>> EnumerateModels(
+      const CnfFormula& formula, size_t limit);
+
+  size_t decisions() const { return decisions_; }
+  size_t propagations() const { return propagations_; }
+
+ private:
+  size_t decisions_ = 0;
+  size_t propagations_ = 0;
+};
+
+/// Builds the repair formula for a violated DC conjunction of `num_atoms`
+/// atoms: variable i (1-based) = "atom i remains true". The constraint
+/// requires ¬(x1 ∧ ... ∧ xm), i.e. the single clause (¬x1 ∨ ... ∨ ¬xm).
+CnfFormula BuildDcRepairFormula(size_t num_atoms);
+
+/// All minimal sets of atoms to invert (each returned as sorted atom
+/// indices) such that the DC formula over `num_atoms` atoms becomes
+/// satisfied. For a pure conjunction these are exactly the singletons; the
+/// helper also supports `must_keep` atoms that cannot be inverted (e.g.
+/// atoms over immutable attributes).
+std::vector<std::vector<size_t>> MinimalInversionSets(
+    size_t num_atoms, const std::vector<bool>& must_keep);
+
+}  // namespace daisy
+
+#endif  // DAISY_REPAIR_SAT_H_

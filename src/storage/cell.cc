@@ -1,0 +1,129 @@
+#include "storage/cell.h"
+
+#include <sstream>
+
+namespace daisy {
+
+const char* CandidateKindToString(CandidateKind kind) {
+  switch (kind) {
+    case CandidateKind::kPoint:
+      return "point";
+    case CandidateKind::kLessThan:
+      return "<";
+    case CandidateKind::kLessEq:
+      return "<=";
+    case CandidateKind::kGreaterThan:
+      return ">";
+    case CandidateKind::kGreaterEq:
+      return ">=";
+  }
+  return "?";
+}
+
+void Cell::Normalize() {
+  if (candidates_.empty()) return;
+  double total = 0.0;
+  for (const Candidate& c : candidates_) total += c.prob;
+  if (total <= 0.0) return;
+  for (Candidate& c : candidates_) c.prob /= total;
+}
+
+const Value& Cell::MostProbable() const {
+  if (candidates_.empty()) return original_;
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates_) {
+    if (c.kind != CandidateKind::kPoint) continue;
+    if (best == nullptr || c.prob > best->prob) best = &c;
+  }
+  return best != nullptr ? best->value : original_;
+}
+
+std::vector<Value> Cell::PossibleValues() const {
+  if (candidates_.empty()) return {original_};
+  std::vector<Value> out;
+  for (const Candidate& c : candidates_) {
+    if (c.kind != CandidateKind::kPoint) continue;
+    bool seen = false;
+    for (const Value& v : out) {
+      if (v == c.value) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(c.value);
+  }
+  if (out.empty()) out.push_back(original_);
+  return out;
+}
+
+bool Cell::MayEqual(const Value& v) const {
+  if (candidates_.empty()) return original_ == v;
+  for (const Candidate& c : candidates_) {
+    switch (c.kind) {
+      case CandidateKind::kPoint:
+        if (c.value == v) return true;
+        break;
+      case CandidateKind::kLessThan:
+        if (v < c.value) return true;
+        break;
+      case CandidateKind::kLessEq:
+        if (v <= c.value) return true;
+        break;
+      case CandidateKind::kGreaterThan:
+        if (v > c.value) return true;
+        break;
+      case CandidateKind::kGreaterEq:
+        if (v >= c.value) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+bool Cell::MayBeInRange(const Value& low, const Value& high) const {
+  auto point_in = [&](const Value& v) {
+    if (!low.is_null() && v < low) return false;
+    if (!high.is_null() && v > high) return false;
+    return true;
+  };
+  if (candidates_.empty()) return point_in(original_);
+  for (const Candidate& c : candidates_) {
+    switch (c.kind) {
+      case CandidateKind::kPoint:
+        if (point_in(c.value)) return true;
+        break;
+      case CandidateKind::kLessThan:
+        // Candidate covers (-inf, bound): intersects [low, high] iff
+        // low < bound (or low unbounded).
+        if (low.is_null() || low < c.value) return true;
+        break;
+      case CandidateKind::kLessEq:
+        if (low.is_null() || low <= c.value) return true;
+        break;
+      case CandidateKind::kGreaterThan:
+        if (high.is_null() || high > c.value) return true;
+        break;
+      case CandidateKind::kGreaterEq:
+        if (high.is_null() || high >= c.value) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+std::string Cell::ToString() const {
+  if (candidates_.empty()) return original_.ToString();
+  std::ostringstream oss;
+  oss << "{";
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (i > 0) oss << "|";
+    const Candidate& c = candidates_[i];
+    if (c.kind != CandidateKind::kPoint) oss << CandidateKindToString(c.kind);
+    oss << c.value.ToString() << ":" << c.prob;
+    if (c.pair_id >= 0) oss << "@" << c.pair_id;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace daisy

@@ -1,0 +1,65 @@
+#include "storage/schema.h"
+
+namespace daisy {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "' in schema " +
+                            ToString());
+  }
+  return it->second;
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& left_prefix,
+                      const std::string& right_prefix) {
+  std::vector<Column> cols;
+  cols.reserve(left.num_columns() + right.num_columns());
+  for (const Column& c : left.columns()) {
+    Column out = c;
+    if (right.HasColumn(c.name)) out.name = left_prefix + c.name;
+    cols.push_back(std::move(out));
+  }
+  for (const Column& c : right.columns()) {
+    Column out = c;
+    if (left.HasColumn(c.name)) out.name = right_prefix + c.name;
+    cols.push_back(std::move(out));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace daisy

@@ -1,0 +1,55 @@
+// Relational schema: an ordered list of named, typed columns.
+
+#ifndef DAISY_STORAGE_SCHEMA_H_
+#define DAISY_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace daisy {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// An immutable-after-construction column list with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if a column with `name` exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// Schema equality: same names and types in the same order.
+  bool Equals(const Schema& other) const;
+
+  /// Concatenates two schemas (for join outputs), prefixing clashing names
+  /// with `left_prefix` / `right_prefix` ("R." style).
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& left_prefix,
+                       const std::string& right_prefix);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_STORAGE_SCHEMA_H_

@@ -1,0 +1,144 @@
+#include "storage/table.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace daisy {
+
+namespace {
+
+bool TypeCompatible(const Value& v, ValueType t) {
+  if (v.is_null()) return true;
+  switch (t) {
+    case ValueType::kNull:
+      return v.is_null();
+    case ValueType::kInt:
+      return v.is_int();
+    case ValueType::kDouble:
+      return v.is_numeric();
+    case ValueType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Table::AppendRow(std::vector<Value> values) {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " + name_);
+  }
+  Row row;
+  row.cells.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!TypeCompatible(values[i], schema_.column(i).type)) {
+      return Status::TypeMismatch(
+          "value '" + values[i].ToString() + "' does not match column " +
+          schema_.column(i).name + ":" +
+          ValueTypeToString(schema_.column(i).type));
+    }
+    row.cells.emplace_back(std::move(values[i]));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+RowId Table::AppendRowUnchecked(Row row) {
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+std::vector<RowId> Table::AllRowIds() const {
+  std::vector<RowId> ids(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+size_t Table::CountProbabilisticCells() const {
+  size_t n = 0;
+  for (const Row& r : rows_) {
+    for (const Cell& c : r.cells) {
+      if (c.is_probabilistic()) ++n;
+    }
+  }
+  return n;
+}
+
+size_t Table::TotalCandidateWidth() const {
+  size_t n = 0;
+  for (const Row& r : rows_) {
+    for (const Cell& c : r.cells) n += c.width();
+  }
+  return n;
+}
+
+void Table::ResetToOriginal() {
+  for (Row& r : rows_) {
+    for (Cell& c : r.cells) c.ClearCandidates();
+  }
+}
+
+Result<Table> Table::FromCsv(const std::string& path, const std::string& name,
+                             const Schema& schema, bool has_header) {
+  DAISY_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  Table table(name, schema);
+  size_t start = 0;
+  if (has_header) {
+    if (rows.empty()) return Status::ParseError("empty CSV with header: " + path);
+    if (rows[0].size() != schema.num_columns()) {
+      return Status::ParseError("header arity mismatch in " + path);
+    }
+    start = 1;
+  }
+  table.Reserve(rows.size() - start);
+  for (size_t i = start; i < rows.size(); ++i) {
+    if (rows[i].size() != schema.num_columns()) {
+      return Status::ParseError("row " + std::to_string(i) +
+                                " arity mismatch in " + path);
+    }
+    std::vector<Value> values;
+    values.reserve(rows[i].size());
+    for (size_t c = 0; c < rows[i].size(); ++c) {
+      DAISY_ASSIGN_OR_RETURN(Value v,
+                             Value::Parse(rows[i][c], schema.column(c).type));
+      values.push_back(std::move(v));
+    }
+    DAISY_RETURN_IF_ERROR(table.AppendRow(std::move(values)));
+  }
+  return table;
+}
+
+Status Table::ToCsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(rows_.size() + 1);
+  std::vector<std::string> header;
+  for (const Column& c : schema_.columns()) header.push_back(c.name);
+  rows.push_back(std::move(header));
+  for (const Row& r : rows_) {
+    std::vector<std::string> fields;
+    fields.reserve(r.cells.size());
+    for (const Cell& c : r.cells) fields.push_back(c.MostProbable().ToString());
+    rows.push_back(std::move(fields));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream oss;
+  oss << name_ << " " << schema_.ToString() << " rows=" << rows_.size()
+      << "\n";
+  const size_t limit = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < limit; ++r) {
+    oss << "  [" << r << "]";
+    for (const Cell& c : rows_[r].cells) oss << " " << c.ToString();
+    oss << "\n";
+  }
+  if (limit < rows_.size()) oss << "  ... (" << rows_.size() - limit
+                                << " more)\n";
+  return oss.str();
+}
+
+}  // namespace daisy

@@ -1,0 +1,88 @@
+// Row-store table over probabilistic cells.
+//
+// Rows have stable ids (their position; rows are never deleted, matching the
+// paper's in-place probabilistic updates). The original cell values survive
+// every repair as provenance, so late-arriving rules can re-derive fixes
+// from the raw data (Table 7 experiment).
+
+#ifndef DAISY_STORAGE_TABLE_H_
+#define DAISY_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/cell.h"
+#include "storage/schema.h"
+
+namespace daisy {
+
+/// Stable row identifier within one table.
+using RowId = size_t;
+
+/// One tuple: a cell per schema column.
+struct Row {
+  std::vector<Cell> cells;
+};
+
+/// A named relation with probabilistic cells.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  const Row& row(RowId r) const { return rows_[r]; }
+  Row& mutable_row(RowId r) { return rows_[r]; }
+  const Cell& cell(RowId r, size_t c) const { return rows_[r].cells[c]; }
+  Cell& mutable_cell(RowId r, size_t c) { return rows_[r].cells[c]; }
+
+  /// Appends a tuple of deterministic values. Fails on arity mismatch or on
+  /// a non-null value whose type class disagrees with the schema.
+  Status AppendRow(std::vector<Value> values);
+
+  /// Appends a pre-built (possibly probabilistic) row without type checks.
+  RowId AppendRowUnchecked(Row row);
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// All row ids, 0..num_rows-1.
+  std::vector<RowId> AllRowIds() const;
+
+  /// Number of cells that currently carry candidate sets.
+  size_t CountProbabilisticCells() const;
+
+  /// Sum of candidate-set widths over all cells — the footprint of the
+  /// probabilistic version (the paper reports this as dataset growth).
+  size_t TotalCandidateWidth() const;
+
+  /// Reverts every cell to its original value (drops all repairs).
+  void ResetToOriginal();
+
+  /// Loads rows from a CSV file with the given schema. If `has_header`,
+  /// the first row is skipped after validating column names.
+  static Result<Table> FromCsv(const std::string& path,
+                               const std::string& name, const Schema& schema,
+                               bool has_header);
+
+  /// Writes the table (most-probable values) plus a header row to CSV.
+  Status ToCsv(const std::string& path) const;
+
+  /// Debug string with up to `max_rows` rows rendered.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_STORAGE_TABLE_H_

@@ -1,0 +1,311 @@
+// Tests for violation detection: FD group-by detection and the partitioned
+// incremental theta-join, including property tests against brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "detect/fd_detector.h"
+#include "detect/group_by.h"
+#include "detect/theta_join.h"
+
+namespace daisy {
+namespace {
+
+Schema CitySchema() {
+  return Schema({{"zip", ValueType::kInt}, {"city", ValueType::kString}});
+}
+
+Table CitiesTable() {
+  Table t("cities", CitySchema());
+  EXPECT_TRUE(t.AppendRow({Value(9001), Value("Los Angeles")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(9001), Value("San Francisco")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(9001), Value("Los Angeles")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(10001), Value("San Francisco")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(10001), Value("New York")}).ok());
+  return t;
+}
+
+Schema SalarySchema() {
+  return Schema({{"salary", ValueType::kDouble}, {"tax", ValueType::kDouble}});
+}
+
+DenialConstraint SalaryDc(const Schema& schema) {
+  return ParseConstraint("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                         "emp", schema)
+      .ValueOrDie();
+}
+
+// -------------------------------------------------------------- group_by --
+
+TEST(GroupByTest, GroupsByKey) {
+  Table t = CitiesTable();
+  GroupMap groups = GroupAllRowsBy(t, {0});
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[GroupKey{Value(9001)}].size(), 3u);
+  EXPECT_EQ(groups[GroupKey{Value(10001)}].size(), 2u);
+}
+
+TEST(GroupByTest, MultiColumnKey) {
+  Table t = CitiesTable();
+  GroupMap groups = GroupAllRowsBy(t, {0, 1});
+  EXPECT_EQ(groups.size(), 4u);  // (9001,LA)x2 collapses
+}
+
+TEST(GroupByTest, SubsetOfRows) {
+  Table t = CitiesTable();
+  GroupMap groups = GroupRowsBy(t, {0}, {0, 3});
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[GroupKey{Value(9001)}].size(), 1u);
+}
+
+// ----------------------------------------------------------- FD detector --
+
+TEST(FdDetectorTest, FindsViolatingGroups) {
+  Table t = CitiesTable();
+  auto dc =
+      ParseConstraint("FD zip -> city", "cities", CitySchema()).ValueOrDie();
+  auto groups = DetectFdViolations(t, dc, t.AllRowIds());
+  ASSERT_EQ(groups.size(), 2u);  // both zips violate
+  // Deterministic order: 9001 first.
+  EXPECT_EQ(groups[0].lhs_key, GroupKey{Value(9001)});
+  EXPECT_EQ(groups[0].total(), 3u);
+  ASSERT_EQ(groups[0].rhs_histogram.size(), 2u);
+  // Histogram ordered by frequency: LA(2) then SF(1).
+  EXPECT_EQ(groups[0].rhs_histogram[0].first, Value("Los Angeles"));
+  EXPECT_EQ(groups[0].rhs_histogram[0].second, 2u);
+  EXPECT_EQ(groups[0].rhs_histogram[1].first, Value("San Francisco"));
+  EXPECT_TRUE(groups[0].violating());
+}
+
+TEST(FdDetectorTest, CleanGroupsFiltered) {
+  Table t("cities", CitySchema());
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2), Value("b")}).ok());
+  auto dc =
+      ParseConstraint("FD zip -> city", "cities", CitySchema()).ValueOrDie();
+  EXPECT_TRUE(DetectFdViolations(t, dc, t.AllRowIds()).empty());
+  EXPECT_EQ(DetectFdViolations(t, dc, t.AllRowIds(), true).size(), 2u);
+  EXPECT_EQ(CountFdViolatingRows(t, dc), 0u);
+}
+
+TEST(FdDetectorTest, ScopeRestriction) {
+  Table t = CitiesTable();
+  auto dc =
+      ParseConstraint("FD zip -> city", "cities", CitySchema()).ValueOrDie();
+  // Only rows 0 and 2 (both LA): no violation within the scope.
+  EXPECT_TRUE(DetectFdViolations(t, dc, {0, 2}).empty());
+  // Rows 0 and 1 conflict.
+  EXPECT_EQ(DetectFdViolations(t, dc, {0, 1}).size(), 1u);
+}
+
+// -------------------------------------------------- theta-join detection --
+
+// Reference: all violating oriented pairs by brute force.
+std::set<std::pair<RowId, RowId>> BruteForce(const Table& t,
+                                             const DenialConstraint& dc) {
+  std::set<std::pair<RowId, RowId>> out;
+  for (RowId a = 0; a < t.num_rows(); ++a) {
+    for (RowId b = 0; b < t.num_rows(); ++b) {
+      if (a == b) continue;
+      if (dc.ViolatedBy(t, a, b)) out.insert({a, b});
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<RowId, RowId>> AsSet(const std::vector<ViolationPair>& v) {
+  std::set<std::pair<RowId, RowId>> out;
+  for (const ViolationPair& p : v) out.insert({p.t1, p.t2});
+  return out;
+}
+
+Table RandomSalaryTable(size_t n, uint64_t seed, double error_fraction) {
+  Rng rng(seed);
+  Table t("emp", SalarySchema());
+  for (size_t i = 0; i < n; ++i) {
+    const double salary = rng.UniformDouble(1000, 100000);
+    // Mostly monotone tax; a fraction perturbed to create violations.
+    double tax = salary / 200000.0;
+    if (rng.Bernoulli(error_fraction)) tax += rng.UniformDouble(0.1, 0.5);
+    EXPECT_TRUE(t.AppendRow({Value(salary), Value(tax)}).ok());
+  }
+  return t;
+}
+
+TEST(ThetaJoinTest, DetectAllMatchesBruteForce) {
+  Table t = RandomSalaryTable(60, 11, 0.2);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 8);
+  EXPECT_EQ(AsSet(detector.DetectAll()), BruteForce(t, dc));
+  EXPECT_TRUE(detector.FullyChecked());
+}
+
+TEST(ThetaJoinTest, PruningDoesNotChangeResults) {
+  Table t = RandomSalaryTable(50, 17, 0.15);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector pruned(&t, &dc, 8);
+  ThetaJoinDetector unpruned(&t, &dc, 8);
+  unpruned.set_pruning_enabled(false);
+  EXPECT_EQ(AsSet(pruned.DetectAll()), AsSet(unpruned.DetectAll()));
+  EXPECT_LE(pruned.pairs_checked(), unpruned.pairs_checked());
+}
+
+TEST(ThetaJoinTest, IncrementalCoversResultPairs) {
+  Table t = RandomSalaryTable(80, 23, 0.2);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 8);
+  std::vector<RowId> result;
+  for (RowId r = 0; r < 20; ++r) result.push_back(r);
+  auto found = AsSet(detector.DetectIncremental(result));
+  // Every brute-force violation touching the result must be found.
+  for (const auto& [a, b] : BruteForce(t, dc)) {
+    const bool touches =
+        (a < 20) || (b < 20);
+    if (touches) {
+      EXPECT_TRUE(found.count({a, b}) > 0)
+          << "missing pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(ThetaJoinTest, IncrementalSkipsCheckedPairs) {
+  Table t = RandomSalaryTable(40, 29, 0.3);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 4);
+  std::vector<RowId> result;
+  for (RowId r = 0; r < 10; ++r) result.push_back(r);
+  (void)detector.DetectIncremental(result);
+  const size_t first_pass = detector.pairs_checked();
+  // Re-running the same result set: all pairs already checked.
+  auto again = detector.DetectIncremental(result);
+  EXPECT_TRUE(again.empty());
+  EXPECT_LT(detector.pairs_checked(), first_pass);
+}
+
+TEST(ThetaJoinTest, SequentialIncrementalConvergesToFullCoverage) {
+  Table t = RandomSalaryTable(60, 31, 0.25);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 8);
+  std::set<std::pair<RowId, RowId>> all_found;
+  // Non-overlapping batches covering the whole table.
+  for (RowId start = 0; start < 60; start += 15) {
+    std::vector<RowId> batch;
+    for (RowId r = start; r < start + 15; ++r) batch.push_back(r);
+    for (const ViolationPair& p : detector.DetectIncremental(batch)) {
+      all_found.insert({p.t1, p.t2});
+    }
+  }
+  EXPECT_TRUE(detector.FullyChecked());
+  EXPECT_EQ(all_found, BruteForce(t, dc));
+  EXPECT_DOUBLE_EQ(detector.Support(), 1.0);
+}
+
+TEST(ThetaJoinTest, SupportGrowsMonotonically) {
+  Table t = RandomSalaryTable(64, 37, 0.2);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 8);
+  double prev = detector.Support();
+  for (RowId start = 0; start < 64; start += 16) {
+    std::vector<RowId> batch;
+    for (RowId r = start; r < start + 16; ++r) batch.push_back(r);
+    (void)detector.DetectIncremental(batch);
+    const double cur = detector.Support();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ThetaJoinTest, EstimateErrorsFlagsDirtyRegions) {
+  // Clean monotone data: estimates ~0 everywhere.
+  Table clean = RandomSalaryTable(100, 41, 0.0);
+  DenialConstraint dc = SalaryDc(clean.schema());
+  ThetaJoinDetector cd(&clean, &dc, 8);
+  double clean_total = 0;
+  for (double v : cd.EstimateErrors()) clean_total += v;
+
+  Table dirty = RandomSalaryTable(100, 41, 0.4);
+  ThetaJoinDetector dd(&dirty, &dc, 8);
+  double dirty_total = 0;
+  for (double v : dd.EstimateErrors()) dirty_total += v;
+  EXPECT_GT(dirty_total, clean_total);
+}
+
+TEST(ThetaJoinTest, AccuracyEstimateBounds) {
+  Table t = RandomSalaryTable(100, 43, 0.3);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 8);
+  std::vector<RowId> result;
+  for (RowId r = 0; r < 25; ++r) result.push_back(r);
+  const double acc = detector.EstimateAccuracy(result);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_DOUBLE_EQ(detector.EstimateAccuracy({}), 1.0);
+}
+
+// Property sweep: DetectAll == brute force across sizes, seeds, partitions.
+struct ThetaParam {
+  size_t n;
+  uint64_t seed;
+  size_t partitions;
+  double errors;
+};
+
+class ThetaJoinPropertyTest : public ::testing::TestWithParam<ThetaParam> {};
+
+TEST_P(ThetaJoinPropertyTest, MatchesBruteForce) {
+  const ThetaParam p = GetParam();
+  Table t = RandomSalaryTable(p.n, p.seed, p.errors);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, p.partitions);
+  EXPECT_EQ(AsSet(detector.DetectAll()), BruteForce(t, dc));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThetaJoinPropertyTest,
+    ::testing::Values(ThetaParam{1, 1, 4, 0.5}, ThetaParam{2, 2, 4, 0.5},
+                      ThetaParam{10, 3, 1, 0.3}, ThetaParam{25, 4, 5, 0.2},
+                      ThetaParam{50, 5, 7, 0.1}, ThetaParam{50, 6, 64, 0.4},
+                      ThetaParam{33, 7, 8, 0.0}, ThetaParam{77, 8, 16, 0.25}));
+
+// Property sweep: incremental detection over random batches finds every
+// violation touching the batches.
+class ThetaIncrementalPropertyTest
+    : public ::testing::TestWithParam<ThetaParam> {};
+
+TEST_P(ThetaIncrementalPropertyTest, BatchesCoverTouchingViolations) {
+  const ThetaParam p = GetParam();
+  Table t = RandomSalaryTable(p.n, p.seed, p.errors);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, p.partitions);
+  Rng rng(p.seed + 99);
+  std::set<std::pair<RowId, RowId>> found;
+  std::set<RowId> touched;
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(
+        p.n, std::max<size_t>(1, p.n / 4));
+    std::sort(rows.begin(), rows.end());
+    for (RowId r : rows) touched.insert(r);
+    for (const ViolationPair& v : detector.DetectIncremental(rows)) {
+      found.insert({v.t1, v.t2});
+    }
+  }
+  for (const auto& pair : BruteForce(t, dc)) {
+    if (touched.count(pair.first) || touched.count(pair.second)) {
+      EXPECT_TRUE(found.count(pair) > 0)
+          << "missing (" << pair.first << "," << pair.second << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThetaIncrementalPropertyTest,
+    ::testing::Values(ThetaParam{20, 11, 4, 0.3}, ThetaParam{40, 12, 8, 0.2},
+                      ThetaParam{60, 13, 6, 0.15},
+                      ThetaParam{30, 14, 16, 0.5}));
+
+}  // namespace
+}  // namespace daisy

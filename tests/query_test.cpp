@@ -1,0 +1,322 @@
+// Tests for the query engine: SQL parser, probabilistic predicate
+// evaluation, WHERE splitting, joins, and aggregation.
+
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace daisy {
+namespace {
+
+// ---------------------------------------------------------------- Parser --
+
+TEST(ParserTest, SelectStarSingleTable) {
+  auto stmt = ParseQuery("SELECT * FROM emp").ValueOrDie();
+  ASSERT_EQ(stmt.select_list.size(), 1u);
+  EXPECT_TRUE(stmt.select_list[0].star);
+  EXPECT_EQ(stmt.tables, std::vector<std::string>{"emp"});
+  EXPECT_EQ(stmt.where, nullptr);
+  EXPECT_TRUE(stmt.group_by.empty());
+}
+
+TEST(ParserTest, ColumnsAndAliases) {
+  auto stmt =
+      ParseQuery("SELECT e.name AS n, salary FROM emp WHERE salary > 100")
+          .ValueOrDie();
+  ASSERT_EQ(stmt.select_list.size(), 2u);
+  EXPECT_EQ(stmt.select_list[0].col.table, "e");
+  EXPECT_EQ(stmt.select_list[0].col.column, "name");
+  EXPECT_EQ(stmt.select_list[0].alias, "n");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kCmp);
+  EXPECT_EQ(stmt.where->op, CompareOp::kGt);
+  EXPECT_EQ(stmt.where->right_val, Value(100));
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto stmt = ParseQuery(
+                  "SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+                  .ValueOrDie();
+  // OR binds loosest: (a=1 AND b=2) OR (c=3).
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kOr);
+  ASSERT_EQ(stmt.where->children.size(), 2u);
+  EXPECT_EQ(stmt.where->children[0]->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(stmt.where->children[1]->kind, Expr::Kind::kCmp);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = ParseQuery(
+                  "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+                  .ValueOrDie();
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(stmt.where->children[1]->kind, Expr::Kind::kOr);
+}
+
+TEST(ParserTest, AggregatesAndGroupBy) {
+  auto stmt = ParseQuery(
+                  "SELECT year, AVG(value) AS mean, COUNT(*) FROM aq "
+                  "WHERE county = 'x' GROUP BY year")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.select_list.size(), 3u);
+  EXPECT_EQ(stmt.select_list[1].agg, AggFunc::kAvg);
+  EXPECT_EQ(stmt.select_list[1].alias, "mean");
+  EXPECT_TRUE(stmt.select_list[2].star);
+  EXPECT_EQ(stmt.select_list[2].agg, AggFunc::kCount);
+  ASSERT_EQ(stmt.group_by.size(), 1u);
+  EXPECT_EQ(stmt.group_by[0].column, "year");
+  EXPECT_TRUE(stmt.has_aggregate());
+}
+
+TEST(ParserTest, JoinPredicateAndLiterals) {
+  auto stmt = ParseQuery(
+                  "SELECT * FROM r, s WHERE r.k = s.k AND r.x >= 2.5 "
+                  "AND s.name = 'it''s'")
+                  .ValueOrDie();
+  EXPECT_EQ(stmt.tables.size(), 2u);
+  auto conjuncts = SplitConjuncts(stmt.where.get());
+  ASSERT_EQ(conjuncts.size(), 3u);
+  ColumnRef l, r;
+  EXPECT_TRUE(MatchJoinPredicate(*conjuncts[0], &l, &r));
+  EXPECT_EQ(l.table, "r");
+  EXPECT_EQ(r.table, "s");
+  EXPECT_EQ(conjuncts[2]->right_val, Value("it's"));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a >").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a > 1 trailing").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FOO(a) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t GROUP BY").ok());
+}
+
+// ------------------------------------------------------------------ Eval --
+
+Schema EmpSchema() {
+  return Schema({{"dept", ValueType::kString},
+                 {"salary", ValueType::kDouble}});
+}
+
+TEST(EvalTest, CellMaySatisfyPoint) {
+  Cell c(Value(50.0));
+  EXPECT_TRUE(CellMaySatisfy(c, CompareOp::kGeq, Value(50.0)));
+  EXPECT_FALSE(CellMaySatisfy(c, CompareOp::kGt, Value(50.0)));
+}
+
+TEST(EvalTest, CellMaySatisfyCandidates) {
+  Cell c(Value(50.0));
+  c.add_candidate({Value(50.0), 0.5, 0, CandidateKind::kPoint});
+  c.add_candidate({Value(90.0), 0.5, 0, CandidateKind::kPoint});
+  EXPECT_TRUE(CellMaySatisfy(c, CompareOp::kGt, Value(80.0)));
+  EXPECT_FALSE(CellMaySatisfy(c, CompareOp::kGt, Value(95.0)));
+  EXPECT_TRUE(CellMaySatisfy(c, CompareOp::kEq, Value(90.0)));
+}
+
+TEST(EvalTest, CellMaySatisfyRanges) {
+  Cell c(Value(100.0));
+  c.add_candidate({Value(40.0), 0.5, 0, CandidateKind::kLessEq});
+  // x <= 40 can satisfy x < 10, x == 40, x <= 100.
+  EXPECT_TRUE(CellMaySatisfy(c, CompareOp::kLt, Value(10.0)));
+  EXPECT_TRUE(CellMaySatisfy(c, CompareOp::kEq, Value(40.0)));
+  EXPECT_FALSE(CellMaySatisfy(c, CompareOp::kEq, Value(41.0)));
+  EXPECT_TRUE(CellMaySatisfy(c, CompareOp::kGeq, Value(40.0)));
+  EXPECT_FALSE(CellMaySatisfy(c, CompareOp::kGt, Value(40.0)));
+}
+
+TEST(EvalTest, CellsMayMatchOverlapSemantics) {
+  Cell a(Value(1));
+  a.add_candidate({Value(1), 0.5, 0, CandidateKind::kPoint});
+  a.add_candidate({Value(2), 0.5, 1, CandidateKind::kPoint});
+  Cell b(Value(2));
+  EXPECT_TRUE(CellsMayMatch(a, CompareOp::kEq, b));  // overlap on 2
+  Cell c(Value(3));
+  EXPECT_FALSE(CellsMayMatch(a, CompareOp::kEq, c));
+  EXPECT_TRUE(CellsMayMatch(a, CompareOp::kLt, c));
+}
+
+TEST(EvalTest, RowMaySatisfyTree) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.AppendRow({Value("eng"), Value(120.0)}).ok());
+  auto stmt = ParseQuery(
+                  "SELECT * FROM emp WHERE dept = 'eng' AND salary > 100")
+                  .ValueOrDie();
+  EXPECT_TRUE(RowMaySatisfy(t, 0, *stmt.where).ValueOrDie());
+  auto stmt2 = ParseQuery(
+                   "SELECT * FROM emp WHERE dept = 'hr' OR salary < 50")
+                   .ValueOrDie();
+  EXPECT_FALSE(RowMaySatisfy(t, 0, *stmt2.where).ValueOrDie());
+}
+
+TEST(EvalTest, UnknownColumnFails) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.AppendRow({Value("eng"), Value(1.0)}).ok());
+  auto stmt = ParseQuery("SELECT * FROM emp WHERE nope = 1").ValueOrDie();
+  EXPECT_FALSE(RowMaySatisfy(t, 0, *stmt.where).ok());
+}
+
+// -------------------------------------------------------------- Executor --
+
+Database MakeJoinDb() {
+  Database db;
+  Table emp("emp", Schema({{"name", ValueType::kString},
+                           {"dept_id", ValueType::kInt},
+                           {"salary", ValueType::kDouble}}));
+  EXPECT_TRUE(emp.AppendRow({Value("ann"), Value(1), Value(100.0)}).ok());
+  EXPECT_TRUE(emp.AppendRow({Value("bob"), Value(2), Value(200.0)}).ok());
+  EXPECT_TRUE(emp.AppendRow({Value("cat"), Value(1), Value(300.0)}).ok());
+  EXPECT_TRUE(db.AddTable(std::move(emp)).ok());
+  Table dept("dept", Schema({{"id", ValueType::kInt},
+                             {"dept_name", ValueType::kString}}));
+  EXPECT_TRUE(dept.AppendRow({Value(1), Value("eng")}).ok());
+  EXPECT_TRUE(dept.AppendRow({Value(2), Value("hr")}).ok());
+  EXPECT_TRUE(db.AddTable(std::move(dept)).ok());
+  return db;
+}
+
+TEST(ExecutorTest, SelectProjectFilter) {
+  Database db = MakeJoinDb();
+  QueryExecutor exec(&db);
+  auto out =
+      exec.Execute("SELECT name FROM emp WHERE salary >= 200").ValueOrDie();
+  ASSERT_EQ(out.result.num_rows(), 2u);
+  EXPECT_EQ(out.result.cell(0, 0).original(), Value("bob"));
+  EXPECT_EQ(out.result.cell(1, 0).original(), Value("cat"));
+  EXPECT_EQ(out.lineage.size(), 2u);
+  EXPECT_EQ(out.lineage[0][0], 1u);
+}
+
+TEST(ExecutorTest, EquiJoin) {
+  Database db = MakeJoinDb();
+  QueryExecutor exec(&db);
+  auto out = exec.Execute(
+                     "SELECT emp.name, dept.dept_name FROM emp, dept "
+                     "WHERE emp.dept_id = dept.id AND dept.dept_name = 'eng'")
+                 .ValueOrDie();
+  ASSERT_EQ(out.result.num_rows(), 2u);
+  EXPECT_EQ(out.result.cell(0, 1).original(), Value("eng"));
+  EXPECT_EQ(out.result.schema().column(0).name, "emp.name");
+}
+
+TEST(ExecutorTest, ProbabilisticJoinKeyOverlap) {
+  Database db = MakeJoinDb();
+  Table* emp = db.GetTable("emp").ValueOrDie();
+  // ann's dept becomes {1 or 2}: she must now match both departments.
+  emp->mutable_cell(0, 1).add_candidate({Value(1), 0.5, 0,
+                                         CandidateKind::kPoint});
+  emp->mutable_cell(0, 1).add_candidate({Value(2), 0.5, 1,
+                                         CandidateKind::kPoint});
+  QueryExecutor exec(&db);
+  auto out = exec.Execute(
+                     "SELECT emp.name, dept.dept_name FROM emp, dept "
+                     "WHERE emp.dept_id = dept.id")
+                 .ValueOrDie();
+  size_t ann_matches = 0;
+  for (RowId r = 0; r < out.result.num_rows(); ++r) {
+    if (out.result.cell(r, 0).original() == Value("ann")) ++ann_matches;
+  }
+  EXPECT_EQ(ann_matches, 2u);
+}
+
+TEST(ExecutorTest, GroupByAggregates) {
+  Database db = MakeJoinDb();
+  QueryExecutor exec(&db);
+  auto out = exec.Execute(
+                     "SELECT dept_id, COUNT(*) AS n, SUM(salary) AS s, "
+                     "AVG(salary) AS a, MIN(salary) AS lo, MAX(salary) AS hi "
+                     "FROM emp GROUP BY dept_id")
+                 .ValueOrDie();
+  ASSERT_EQ(out.result.num_rows(), 2u);
+  // Find dept 1.
+  for (RowId r = 0; r < 2; ++r) {
+    if (out.result.cell(r, 0).original() == Value(1)) {
+      EXPECT_EQ(out.result.cell(r, 1).original(), Value(2));
+      EXPECT_DOUBLE_EQ(out.result.cell(r, 2).original().AsDouble(), 400.0);
+      EXPECT_DOUBLE_EQ(out.result.cell(r, 3).original().AsDouble(), 200.0);
+      EXPECT_DOUBLE_EQ(out.result.cell(r, 4).original().AsDouble(), 100.0);
+      EXPECT_DOUBLE_EQ(out.result.cell(r, 5).original().AsDouble(), 300.0);
+    }
+  }
+}
+
+TEST(ExecutorTest, GlobalAggregateWithoutGroupBy) {
+  Database db = MakeJoinDb();
+  QueryExecutor exec(&db);
+  auto out = exec.Execute("SELECT COUNT(*) FROM emp").ValueOrDie();
+  ASSERT_EQ(out.result.num_rows(), 1u);
+  EXPECT_EQ(out.result.cell(0, 0).original(), Value(3));
+}
+
+TEST(ExecutorTest, SplitWhereClassification) {
+  Database db = MakeJoinDb();
+  auto stmt = ParseQuery(
+                  "SELECT * FROM emp, dept WHERE emp.dept_id = dept.id AND "
+                  "salary > 150 AND dept.dept_name = 'eng'")
+                  .ValueOrDie();
+  std::vector<const Table*> tables{db.GetTable("emp").ValueOrDie(),
+                                   db.GetTable("dept").ValueOrDie()};
+  auto split = SplitWhereClause(stmt, tables).ValueOrDie();
+  ASSERT_EQ(split.joins.size(), 1u);
+  EXPECT_EQ(split.joins[0].left_table, 0u);
+  EXPECT_EQ(split.joins[0].right_table, 1u);
+  ASSERT_NE(split.table_filters[0], nullptr);
+  ASSERT_NE(split.table_filters[1], nullptr);
+}
+
+TEST(ExecutorTest, AmbiguousColumnRejected) {
+  Database db;
+  Table a("a", Schema({{"x", ValueType::kInt}}));
+  Table b("b", Schema({{"x", ValueType::kInt}}));
+  ASSERT_TRUE(a.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(db.AddTable(std::move(a)).ok());
+  ASSERT_TRUE(db.AddTable(std::move(b)).ok());
+  QueryExecutor exec(&db);
+  EXPECT_FALSE(exec.Execute("SELECT * FROM a, b WHERE x = 1").ok());
+}
+
+TEST(ExecutorTest, UnknownTableOrColumn) {
+  Database db = MakeJoinDb();
+  QueryExecutor exec(&db);
+  EXPECT_FALSE(exec.Execute("SELECT * FROM nope").ok());
+  EXPECT_FALSE(exec.Execute("SELECT nope FROM emp").ok());
+  EXPECT_FALSE(exec.Execute("SELECT * FROM emp WHERE ghost = 1").ok());
+}
+
+TEST(ExecutorTest, StarExpansionQualifiesOnJoin) {
+  Database db = MakeJoinDb();
+  QueryExecutor exec(&db);
+  auto out = exec.Execute(
+                     "SELECT * FROM emp, dept WHERE emp.dept_id = dept.id")
+                 .ValueOrDie();
+  EXPECT_EQ(out.result.schema().num_columns(), 5u);
+  EXPECT_TRUE(out.result.schema().HasColumn("emp.name"));
+  EXPECT_TRUE(out.result.schema().HasColumn("dept.id"));
+}
+
+TEST(ExecutorTest, ProbabilisticCellsSurviveProjection) {
+  Database db = MakeJoinDb();
+  Table* emp = db.GetTable("emp").ValueOrDie();
+  emp->mutable_cell(0, 2).add_candidate({Value(100.0), 0.5, 0,
+                                         CandidateKind::kPoint});
+  emp->mutable_cell(0, 2).add_candidate({Value(500.0), 0.5, 1,
+                                         CandidateKind::kPoint});
+  QueryExecutor exec(&db);
+  // May-semantics: ann qualifies for salary > 400 through the candidate.
+  auto out =
+      exec.Execute("SELECT name, salary FROM emp WHERE salary > 400")
+          .ValueOrDie();
+  ASSERT_EQ(out.result.num_rows(), 1u);
+  EXPECT_EQ(out.result.cell(0, 0).original(), Value("ann"));
+  EXPECT_TRUE(out.result.cell(0, 1).is_probabilistic());
+  EXPECT_EQ(out.result.cell(0, 1).candidates().size(), 2u);
+}
+
+}  // namespace
+}  // namespace daisy
