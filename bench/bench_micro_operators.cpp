@@ -45,19 +45,31 @@ void BM_RelaxFdResult(benchmark::State& state) {
 }
 BENCHMARK(BM_RelaxFdResult)->Arg(1000)->Arg(10000)->Arg(50000);
 
+// Row path vs. columnar path: FD detection via per-cell Value hashing
+// against the dictionary-code group-by.
 void BM_FdDetection(benchmark::State& state) {
   const size_t rows = static_cast<size_t>(state.range(0));
+  const bool columnar = state.range(1) != 0;
   Table t = MakeLineorder(rows, rows / 20, 50);
   DenialConstraint dc = OrderFd(t);
   const std::vector<RowId> all = t.AllRowIds();
+  (void)DetectFdViolations(t, dc, all);  // build the column cache once
   for (auto _ : state) {
-    auto groups = DetectFdViolations(t, dc, all);
+    auto groups = columnar ? DetectFdViolations(t, dc, all)
+                           : DetectFdViolationsRowPath(t, dc, all);
     benchmark::DoNotOptimize(groups.size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(rows));
+  state.SetLabel(columnar ? "columnar" : "row-path");
 }
-BENCHMARK(BM_FdDetection)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_FdDetection)
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Args({50000, 1})
+    ->Args({50000, 0});
 
 Table MakeSalaryTable(size_t rows, double error_fraction) {
   Rng rng(99);
@@ -109,6 +121,69 @@ void BM_ThetaJoinIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThetaJoinIncremental)->Arg(1000)->Arg(4000);
+
+// Row path vs. columnar path on the 50k-row theta-join workload: one
+// incremental detection pass (a 1k-row query answer against the unseen
+// rest) with pair checks either through the compiled flat arrays or
+// through per-cell Value dispatch (DenialConstraint::ViolatedBy).
+void BM_ThetaJoin50kRowVsColumnar(benchmark::State& state) {
+  const bool columnar = state.range(0) != 0;
+  const size_t rows = 50000;
+  Table t = MakeSalaryTable(rows, 0.02);
+  auto dc = ParseConstraint("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                            "emp", t.schema())
+                .ValueOrDie();
+  std::vector<RowId> result;
+  for (RowId r = 0; r < rows / 50; ++r) result.push_back(r);
+  (void)t.columns().column(0);
+  (void)t.columns().column(1);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    ThetaJoinDetector detector(&t, &dc, 32);
+    detector.set_columnar_enabled(columnar);
+    auto v = detector.DetectIncremental(result);
+    benchmark::DoNotOptimize(v.size());
+    pairs = detector.pairs_checked();
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.SetLabel(columnar ? "columnar" : "row-path");
+}
+BENCHMARK(BM_ThetaJoin50kRowVsColumnar)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// DetectAll worker-pool scaling on the flat layout (deterministic merge).
+void BM_ThetaJoinParallelDetectAll(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Table t = MakeSalaryTable(4000, 0.02);
+  auto dc = ParseConstraint("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                            "emp", t.schema())
+                .ValueOrDie();
+  for (auto _ : state) {
+    ThetaJoinDetector detector(&t, &dc, 32, threads);
+    auto v = detector.DetectAll();
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ThetaJoinParallelDetectAll)->Arg(1)->Arg(2)->Arg(4);
+
+// Estimate_Errors: binary-searched range counts over the per-partition
+// sorted projections (was a linear partition rescan per atom pair).
+void BM_EstimateErrors(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = MakeSalaryTable(rows, 0.1);
+  auto dc = ParseConstraint("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                            "emp", t.schema())
+                .ValueOrDie();
+  for (auto _ : state) {
+    ThetaJoinDetector detector(&t, &dc, 64);
+    const auto& est = detector.EstimateErrors();
+    benchmark::DoNotOptimize(est.size());
+  }
+}
+BENCHMARK(BM_EstimateErrors)->Arg(10000)->Arg(50000);
 
 void BM_FdRepair(benchmark::State& state) {
   const size_t rows = static_cast<size_t>(state.range(0));

@@ -23,7 +23,7 @@ Status DaisyEngine::Prepare() {
     ProvenanceStore* prov = &provenance_[dc.table()];
     if (!dc.IsFd()) {
       state.theta = std::make_unique<ThetaJoinDetector>(
-          table, &dc, options_.theta_partitions);
+          table, &dc, options_.theta_partitions, options_.detect_threads);
     }
     state.op = std::make_unique<CleanSelect>(table, &dc, prov, &statistics_,
                                              state.theta.get());

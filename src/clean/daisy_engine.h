@@ -43,6 +43,9 @@ struct DaisyOptions {
   double accuracy_threshold = 0.5;
   /// Theta-join matrix partitions (p).
   size_t theta_partitions = 16;
+  /// Worker threads for the theta-join DetectAll partition scan (1 =
+  /// serial). Results are deterministic for any value.
+  size_t detect_threads = 1;
   bool use_statistics_pruning = true;
   bool theta_pruning = true;
 };

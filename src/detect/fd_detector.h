@@ -26,11 +26,19 @@ struct FdGroup {
 
 /// Detects FD violations among `rows`. Requires dc.IsFd().
 /// Returns only the groups (clean groups are filtered unless
-/// `include_clean`). Values are read through Cell::original().
+/// `include_clean`). Runs on the table's columnar dictionary codes; the
+/// grouping is identical to evaluating Cell::original() per row.
 std::vector<FdGroup> DetectFdViolations(const Table& table,
                                         const DenialConstraint& dc,
                                         const std::vector<RowId>& rows,
                                         bool include_clean = false);
+
+/// Row-at-a-time reference implementation (per-cell Value hashing). Kept
+/// for ablation benchmarks and equivalence tests.
+std::vector<FdGroup> DetectFdViolationsRowPath(const Table& table,
+                                               const DenialConstraint& dc,
+                                               const std::vector<RowId>& rows,
+                                               bool include_clean = false);
 
 /// Count of rows that participate in some violating group of `dc` over the
 /// whole table — the paper's #vio statistic.

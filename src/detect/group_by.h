@@ -1,6 +1,12 @@
 // Hash-based grouping of table rows on column subsets — the BigDansing-style
 // O(n) detection primitive for FDs, and the statistics precomputation
 // primitive of the cost model.
+//
+// Grouping runs on the table's columnar dictionary codes: each row
+// contributes one uint32_t per grouping column instead of hashing a Value
+// tuple per row. Group keys in the returned map are the dictionary's
+// representative values — Equals/Hash-consistent with the cell values, so
+// lookups via MakeGroupKey behave identically to the row path.
 
 #ifndef DAISY_DETECT_GROUP_BY_H_
 #define DAISY_DETECT_GROUP_BY_H_
@@ -9,6 +15,7 @@
 #include <vector>
 
 #include "common/value.h"
+#include "storage/column_cache.h"
 #include "storage/table.h"
 
 namespace daisy {
@@ -43,12 +50,20 @@ using GroupMap =
 GroupKey MakeGroupKey(const Table& table, RowId r,
                       const std::vector<size_t>& columns);
 
-/// Groups `rows` of `table` by the original values of `columns`.
+/// Groups `rows` of `table` by the original values of `columns`, using the
+/// table's columnar dictionary codes.
 GroupMap GroupRowsBy(const Table& table, const std::vector<size_t>& columns,
                      const std::vector<RowId>& rows);
 
 /// Groups all rows of `table` by `columns`.
 GroupMap GroupAllRowsBy(const Table& table, const std::vector<size_t>& columns);
+
+/// Row-at-a-time reference implementation (hashes a Value tuple per row).
+/// Kept for ablation benchmarks and equivalence tests; produces the same
+/// grouping as GroupRowsBy.
+GroupMap GroupRowsByRowPath(const Table& table,
+                            const std::vector<size_t>& columns,
+                            const std::vector<RowId>& rows);
 
 }  // namespace daisy
 

@@ -1,17 +1,17 @@
 #include "detect/theta_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 namespace daisy {
 
-namespace {
+namespace detail {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Conservative feasibility of `[lmin,lmax] op [rmin,rmax]`: can *some* pair
-// of values drawn from the two ranges satisfy the comparison?
 bool RangeFeasible(double lmin, double lmax, CompareOp op, double rmin,
                    double rmax) {
   switch (op) {
@@ -26,17 +26,79 @@ bool RangeFeasible(double lmin, double lmax, CompareOp op, double rmin,
     case CompareOp::kEq:
       return lmin <= rmax && rmin <= lmax;
     case CompareOp::kNeq:
-      return !(lmin == lmax && rmin == rmax && lmin == rmin);
+      // Infeasible only when both ranges are the same single point: every
+      // draw is then equal. Any wider range on either side offers a
+      // distinct value.
+      return lmin != lmax || rmin != rmax || lmin != rmin;
   }
   return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::kInf;
+using detail::RangeFeasible;
+
+// EvalCompare's null branch: null equals only null; inequality comparisons
+// against null never hold.
+inline bool NullCompare(bool lnull, bool rnull, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lnull && rnull;
+    case CompareOp::kNeq:
+      return lnull != rnull;
+    default:
+      return false;
+  }
+}
+
+inline bool CompareDoubles(double a, CompareOp op, double b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNeq:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLeq:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGeq:
+      return a >= b;
+  }
+  return false;
+}
+
+inline bool CompareRanks(uint32_t a, CompareOp op, uint32_t b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNeq:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLeq:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGeq:
+      return a >= b;
+  }
+  return false;
 }
 
 }  // namespace
 
 ThetaJoinDetector::ThetaJoinDetector(const Table* table,
                                      const DenialConstraint* dc,
-                                     size_t partitions)
-    : table_(table), dc_(dc), requested_partitions_(std::max<size_t>(1, partitions)) {
+                                     size_t partitions, size_t threads)
+    : table_(table),
+      dc_(dc),
+      requested_partitions_(std::max<size_t>(1, partitions)),
+      threads_(std::max<size_t>(1, threads)) {
   // Primary partition attribute: the first cross-tuple order-comparison atom;
   // falls back to the first atom's left column.
   sort_column_ = dc_->atoms().empty() ? 0 : dc_->atoms()[0].left_column;
@@ -52,31 +114,61 @@ ThetaJoinDetector::ThetaJoinDetector(const Table* table,
   checked_.assign(table_->num_rows(), false);
 }
 
-double ThetaJoinDetector::ColumnValue(RowId r, size_t col) const {
-  const Value& v = table_->cell(r, col).original();
-  if (v.is_numeric()) return v.AsDouble();
-  // Non-numeric attributes participate only in ==/!= atoms; map them onto a
-  // stable 1-D coordinate so range feasibility remains conservative-correct
-  // for equality (equal strings collide) and trivially true for !=.
-  return static_cast<double>(v.Hash() % (1u << 30));
+void ThetaJoinDetector::EnsureFresh() {
+  ColumnCache& cache = table_->columns();
+  const std::vector<size_t>& cols = dc_->involved_columns();
+  // Content change: the values an involved column exposes differ from the
+  // ones the current partitions/coverage were computed on. A new cache
+  // identity (the table was reassigned wholesale) counts — generations of
+  // different cache instances are not comparable.
+  bool content_changed = cols_.size() != cols.size() ||
+                         checked_.size() != table_->num_rows() ||
+                         cache.id() != cache_id_;
+  // Storage move: a rebuild reallocated the arrays the compiled atoms
+  // point into, even if it reproduced identical content (the usual
+  // candidate-only repair path). Pointers must be refreshed either way.
+  bool storage_moved = content_changed;
+  if (!content_changed) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const ColumnCache::Column& col = cache.column(cols[i]);
+      if (col.generation != col_generations_[i]) content_changed = true;
+      if (col.num.data() != col_data_[i]) storage_moved = true;
+    }
+  }
+  if (!content_changed && !storage_moved) return;
+  BuildPartitions();
+  if (content_changed) {
+    // Rows checked against the old values are not checked against the
+    // new; estimates are stale too. A pure storage move keeps both.
+    range_vio_valid_ = false;
+    checked_.assign(table_->num_rows(), false);
+  }
 }
 
 void ThetaJoinDetector::BuildPartitions() {
-  sorted_ = table_->AllRowIds();
-  std::sort(sorted_.begin(), sorted_.end(), [&](RowId a, RowId b) {
-    const double va = ColumnValue(a, sort_column_);
-    const double vb = ColumnValue(b, sort_column_);
-    if (va != vb) return va < vb;
-    return a < b;
-  });
-  position_.assign(table_->num_rows(), 0);
-  for (size_t i = 0; i < sorted_.size(); ++i) position_[sorted_[i]] = i;
+  ColumnCache& cache = table_->columns();
+  const std::vector<size_t>& cols = dc_->involved_columns();
+  cache_id_ = cache.id();
+  cols_.clear();
+  col_generations_.clear();
+  col_data_.clear();
+  for (size_t c : cols) {
+    const ColumnCache::Column& col = cache.column(c);
+    cols_.push_back(&col);
+    col_generations_.push_back(col.generation);
+    col_data_.push_back(col.num.data());
+  }
+  sort_slot_ = static_cast<size_t>(
+      std::lower_bound(cols.begin(), cols.end(), sort_column_) - cols.begin());
+
+  // The cache's sorted index uses exactly this detector's historical order:
+  // numeric projection ascending, row id as tiebreak.
+  sorted_ = cache.column(sort_column_).sorted_rows;
 
   const size_t n = sorted_.size();
   const size_t p = std::min(requested_partitions_, std::max<size_t>(1, n));
   boundaries_.clear();
   boundaries_.reserve(p);
-  const std::vector<size_t>& cols = dc_->involved_columns();
   for (size_t i = 0; i < p; ++i) {
     PartitionStats part;
     part.begin = i * n / p;
@@ -86,13 +178,160 @@ void ThetaJoinDetector::BuildPartitions() {
     for (size_t s = part.begin; s < part.end; ++s) {
       const RowId r = sorted_[s];
       for (size_t c = 0; c < cols.size(); ++c) {
-        const double v = ColumnValue(r, cols[c]);
+        const double v = cols_[c]->num[r];
         part.min_val[c] = std::min(part.min_val[c], v);
         part.max_val[c] = std::max(part.max_val[c], v);
       }
     }
     boundaries_.push_back(std::move(part));
   }
+  range_index_built_ = false;
+  CompileAtoms(cache);
+}
+
+void ThetaJoinDetector::CompileAtoms(ColumnCache& cache) {
+  compiled_.clear();
+  const std::vector<PredicateAtom>& atoms = dc_->atoms();
+  compiled_.reserve(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const PredicateAtom& a = atoms[i];
+    CompiledAtom ca;
+    ca.op = a.op;
+    ca.left_tuple = a.left_tuple;
+    ca.right_tuple = a.right_is_constant ? a.left_tuple : a.right_tuple;
+    ca.atom_index = i;
+    const ColumnCache::Column& left = cache.column(a.left_column);
+    ca.lnum = left.num.data();
+    ca.lnulls = left.nulls.data();
+    ca.lranks = left.ranks.data();
+    if (a.right_is_constant) {
+      ca.check_nulls = left.has_nulls;
+      if (a.constant.is_null()) {
+        ca.kind = CompiledAtom::Kind::kNullConst;
+      } else if (left.numeric_only && a.constant.is_numeric()) {
+        ca.kind = CompiledAtom::Kind::kNumConst;
+        ca.cnum = a.constant.AsDouble();
+      } else {
+        // Locate the constant in the column's rank domain: clo = #distinct
+        // column values ordering strictly below it (Value::Compare, the
+        // same order ranks were assigned under).
+        ca.kind = CompiledAtom::Kind::kRankConst;
+        const std::vector<Value>& sd = left.sorted_distinct;
+        auto it = std::lower_bound(
+            sd.begin(), sd.end(), a.constant,
+            [](const Value& v, const Value& c) { return v.Compare(c) < 0; });
+        ca.clo = static_cast<uint32_t>(it - sd.begin());
+        ca.chas_eq = it != sd.end() && it->Compare(a.constant) == 0;
+      }
+    } else {
+      const ColumnCache::Column& right = cache.column(a.right_column);
+      ca.rnum = right.num.data();
+      ca.rnulls = right.nulls.data();
+      ca.rranks = right.ranks.data();
+      ca.check_nulls = left.has_nulls || right.has_nulls;
+      if (a.left_column == a.right_column) {
+        ca.kind = CompiledAtom::Kind::kRank;
+      } else if (left.numeric_only && right.numeric_only) {
+        ca.kind = CompiledAtom::Kind::kNum;
+      } else {
+        // Two different columns, at least one non-numeric: per-column ranks
+        // are not comparable across columns — keep Value semantics.
+        ca.kind = CompiledAtom::Kind::kRow;
+      }
+    }
+    compiled_.push_back(ca);
+  }
+}
+
+bool ThetaJoinDetector::EvalAtomFlat(const CompiledAtom& atom, RowId a,
+                                     RowId b) const {
+  const RowId rows[2] = {a, b};  // branch-free tuple binding
+  const RowId l = rows[atom.left_tuple];
+  const RowId r = rows[atom.right_tuple];
+  switch (atom.kind) {
+    case CompiledAtom::Kind::kNum: {
+      if (atom.check_nulls) {
+        const bool lnull = atom.lnulls[l] != 0;
+        const bool rnull = atom.rnulls[r] != 0;
+        if (lnull || rnull) return NullCompare(lnull, rnull, atom.op);
+      }
+      return CompareDoubles(atom.lnum[l], atom.op, atom.rnum[r]);
+    }
+    case CompiledAtom::Kind::kRank: {
+      if (atom.check_nulls) {
+        const bool lnull = atom.lnulls[l] != 0;
+        const bool rnull = atom.rnulls[r] != 0;
+        if (lnull || rnull) return NullCompare(lnull, rnull, atom.op);
+      }
+      return CompareRanks(atom.lranks[l], atom.op, atom.rranks[r]);
+    }
+    case CompiledAtom::Kind::kNumConst: {
+      if (atom.check_nulls && atom.lnulls[l] != 0) {
+        return NullCompare(true, false, atom.op);
+      }
+      return CompareDoubles(atom.lnum[l], atom.op, atom.cnum);
+    }
+    case CompiledAtom::Kind::kRankConst: {
+      if (atom.check_nulls && atom.lnulls[l] != 0) {
+        return NullCompare(true, false, atom.op);
+      }
+      const uint32_t x = atom.lranks[l];
+      switch (atom.op) {
+        case CompareOp::kEq:
+          return atom.chas_eq && x == atom.clo;
+        case CompareOp::kNeq:
+          return !(atom.chas_eq && x == atom.clo);
+        case CompareOp::kLt:
+          return x < atom.clo;
+        case CompareOp::kLeq:
+          return x < atom.clo + (atom.chas_eq ? 1u : 0u);
+        case CompareOp::kGt:
+          return x >= atom.clo + (atom.chas_eq ? 1u : 0u);
+        case CompareOp::kGeq:
+          return x >= atom.clo;
+      }
+      return false;
+    }
+    case CompiledAtom::Kind::kNullConst:
+      return NullCompare(atom.lnulls[l] != 0, true, atom.op);
+    case CompiledAtom::Kind::kRow: {
+      const PredicateAtom& pa = dc_->atoms()[atom.atom_index];
+      const Value& lhs = table_->cell(l, pa.left_column).original();
+      const Value& rhs = pa.right_is_constant
+                             ? pa.constant
+                             : table_->cell(r, pa.right_column).original();
+      return EvalCompare(lhs, pa.op, rhs);
+    }
+  }
+  return false;
+}
+
+// Fused unordered-pair evaluation: both tuple orientations in a single
+// pass over the compiled atoms, sharing the per-row operand loads. Callers
+// guarantee a != b (the scan loops never produce the diagonal), so the
+// pairwise a == b short-circuit of DenialConstraint::ViolatedBy is not
+// re-checked here.
+std::pair<bool, bool> ThetaJoinDetector::CheckBoth(RowId a, RowId b) const {
+  if (!columnar_enabled_) {
+    return {dc_->ViolatedBy(*table_, a, b), dc_->ViolatedBy(*table_, b, a)};
+  }
+  const CompiledAtom* const atoms = compiled_.data();
+  const size_t n = compiled_.size();
+  bool fwd = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (!EvalAtomFlat(atoms[i], a, b)) {
+      fwd = false;
+      break;
+    }
+  }
+  bool rev = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (!EvalAtomFlat(atoms[i], b, a)) {
+      rev = false;
+      break;
+    }
+  }
+  return {fwd, rev};
 }
 
 bool ThetaJoinDetector::OrientationFeasible(
@@ -107,9 +346,7 @@ bool ThetaJoinDetector::OrientationFeasible(
     const size_t ls = slot(a.left_column);
     double rmin, rmax;
     if (a.right_is_constant) {
-      const double c = a.constant.is_numeric()
-                           ? a.constant.AsDouble()
-                           : static_cast<double>(a.constant.Hash() % (1u << 30));
+      const double c = ColumnCache::NumericCoord(a.constant);
       rmin = rmax = c;
     } else {
       const PartitionStats& rp = a.right_tuple == 0 ? t1_part : t2_part;
@@ -130,36 +367,77 @@ bool ThetaJoinDetector::PairFeasible(const PartitionStats& a,
 }
 
 void ThetaJoinDetector::CheckPair(RowId a, RowId b,
-                                  std::vector<ViolationPair>* out) {
-  ++pairs_checked_;
-  if (dc_->ViolatedBy(*table_, a, b)) out->push_back({a, b});
-  if (a != b && dc_->ViolatedBy(*table_, b, a)) out->push_back({b, a});
+                                  std::vector<ViolationPair>* out,
+                                  size_t* pairs) const {
+  ++*pairs;
+  const auto [fwd, rev] = CheckBoth(a, b);
+  if (fwd) out->push_back({a, b});
+  if (rev) out->push_back({b, a});
+}
+
+void ThetaJoinDetector::ScanCell(size_t i, size_t j,
+                                 std::vector<ViolationPair>* out,
+                                 size_t* pairs) const {
+  const PartitionStats& bi = boundaries_[i];
+  const PartitionStats& bj = boundaries_[j];
+  for (size_t si = bi.begin; si < bi.end; ++si) {
+    const RowId a = sorted_[si];
+    // checked_[x] means x was already cross-checked against every row, so
+    // any pair with a checked endpoint is covered.
+    if (checked_[a]) continue;
+    const size_t sj_begin = (i == j) ? si + 1 : bj.begin;
+    for (size_t sj = sj_begin; sj < bj.end; ++sj) {
+      const RowId b = sorted_[sj];
+      if (checked_[b]) continue;
+      CheckPair(a, b, out, pairs);
+    }
+  }
 }
 
 std::vector<ViolationPair> ThetaJoinDetector::DetectAll() {
+  EnsureFresh();
   pairs_checked_ = 0;
   partitions_pruned_ = 0;
-  std::vector<ViolationPair> out;
+
+  // Surviving matrix cells of the upper triangle, in deterministic order.
   const size_t p = boundaries_.size();
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  cells.reserve(p * (p + 1) / 2);
   for (size_t i = 0; i < p; ++i) {
     for (size_t j = i; j < p; ++j) {
       if (pruning_enabled_ && !PairFeasible(boundaries_[i], boundaries_[j])) {
         ++partitions_pruned_;
         continue;
       }
-      const PartitionStats& bi = boundaries_[i];
-      const PartitionStats& bj = boundaries_[j];
-      for (size_t si = bi.begin; si < bi.end; ++si) {
-        const size_t sj_begin = (i == j) ? si + 1 : bj.begin;
-        for (size_t sj = sj_begin; sj < bj.end; ++sj) {
-          const RowId a = sorted_[si];
-          const RowId b = sorted_[sj];
-          // checked_[x] means x was already cross-checked against every
-          // row, so any pair with a checked endpoint is covered.
-          if (checked_[a] || checked_[b]) continue;
-          CheckPair(a, b, &out);
-        }
+      cells.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+    }
+  }
+
+  std::vector<ViolationPair> out;
+  const size_t workers = std::min(threads_, std::max<size_t>(1, cells.size()));
+  if (workers <= 1) {
+    for (const auto& [i, j] : cells) ScanCell(i, j, &out, &pairs_checked_);
+  } else {
+    // Each cell collects into its own buffer; buffers are concatenated in
+    // cell order afterwards, so the output is identical to the serial scan.
+    std::vector<std::vector<ViolationPair>> cell_out(cells.size());
+    std::vector<size_t> cell_pairs(cells.size(), 0);
+    std::atomic<size_t> next{0};
+    auto work = [&]() {
+      while (true) {
+        const size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= cells.size()) break;
+        ScanCell(cells[k].first, cells[k].second, &cell_out[k],
+                 &cell_pairs[k]);
       }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    for (size_t k = 0; k < cells.size(); ++k) {
+      pairs_checked_ += cell_pairs[k];
+      out.insert(out.end(), cell_out[k].begin(), cell_out[k].end());
     }
   }
   std::fill(checked_.begin(), checked_.end(), true);
@@ -168,6 +446,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectAll() {
 
 std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
     const std::vector<RowId>& result_rows) {
+  EnsureFresh();
   pairs_checked_ = 0;
   partitions_pruned_ = 0;
   std::vector<ViolationPair> out;
@@ -175,16 +454,49 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
 
   // Boundary statistics of the query answer, playing the role of one side of
   // the partial matrix.
-  const std::vector<size_t>& cols = dc_->involved_columns();
+  const size_t num_slots = cols_.size();
   PartitionStats answer;
-  answer.min_val.assign(cols.size(), kInf);
-  answer.max_val.assign(cols.size(), -kInf);
+  answer.min_val.assign(num_slots, kInf);
+  answer.max_val.assign(num_slots, -kInf);
   for (RowId r : result_rows) {
-    for (size_t c = 0; c < cols.size(); ++c) {
-      const double v = ColumnValue(r, cols[c]);
+    for (size_t c = 0; c < num_slots; ++c) {
+      const double v = cols_[c]->num[r];
       answer.min_val[c] = std::min(answer.min_val[c], v);
       answer.max_val[c] = std::max(answer.max_val[c], v);
     }
+  }
+
+  if (!columnar_enabled_) {
+    // Ablation: the pre-columnar scan — per-pair checked tests, per-pair
+    // unordered-pair dedup, per-cell Value dispatch via ViolatedBy.
+    for (const PartitionStats& part : boundaries_) {
+      if (pruning_enabled_ && !PairFeasible(answer, part)) {
+        ++partitions_pruned_;
+        continue;
+      }
+      for (size_t s = part.begin; s < part.end; ++s) {
+        const RowId u = sorted_[s];
+        for (RowId r : result_rows) {
+          if (r == u) continue;
+          if (checked_[r] || checked_[u]) continue;
+          if (u < r && std::binary_search(result_rows.begin(),
+                                          result_rows.end(), u)) {
+            continue;
+          }
+          CheckPair(r, u, &out, &pairs_checked_);
+        }
+      }
+    }
+    for (RowId r : result_rows) checked_[r] = true;
+    return out;
+  }
+
+  // Hot-loop invariants: result rows already checked never produce new
+  // pairs, so drop them once instead of testing checked_[r] per pair.
+  std::vector<RowId> active;
+  active.reserve(result_rows.size());
+  for (RowId r : result_rows) {
+    if (!checked_[r]) active.push_back(r);
   }
 
   for (const PartitionStats& part : boundaries_) {
@@ -194,16 +506,21 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
     }
     for (size_t s = part.begin; s < part.end; ++s) {
       const RowId u = sorted_[s];
-      for (RowId r : result_rows) {
-        if (r == u) continue;
-        if (checked_[r] || checked_[u]) continue;
-        // Canonicalize so each unordered pair is checked once per call:
-        // when both endpoints are in the result set, the smaller id leads.
-        if (u < r && checked_[u] == false &&
-            std::binary_search(result_rows.begin(), result_rows.end(), u)) {
-          continue;
-        }
-        CheckPair(r, u, &out);
+      if (checked_[u]) continue;
+      // When both endpoints are in the (sorted) result set the unordered
+      // pair {u, r} comes up twice — once per endpoint playing `u`. Keep
+      // only the visit where the larger id plays `u`, i.e. pair `u` only
+      // with the result prefix below it (`active` is sorted ascending).
+      auto last = active.end();
+      if (std::binary_search(result_rows.begin(), result_rows.end(), u)) {
+        last = std::lower_bound(active.begin(), active.end(), u);
+      }
+      pairs_checked_ += static_cast<size_t>(last - active.begin());
+      for (auto it = active.begin(); it != last; ++it) {
+        const RowId r = *it;
+        const auto [fwd, rev] = CheckBoth(r, u);
+        if (fwd) out.push_back({r, u});
+        if (rev) out.push_back({u, r});
       }
     }
   }
@@ -211,8 +528,25 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
   return out;
 }
 
+void ThetaJoinDetector::BuildRangeIndex() {
+  for (PartitionStats& part : boundaries_) {
+    part.sorted_vals.assign(cols_.size(), {});
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      std::vector<double>& vals = part.sorted_vals[c];
+      vals.reserve(part.end - part.begin);
+      for (size_t s = part.begin; s < part.end; ++s) {
+        vals.push_back(cols_[c]->num[sorted_[s]]);
+      }
+      std::sort(vals.begin(), vals.end());
+    }
+  }
+  range_index_built_ = true;
+}
+
 const std::vector<double>& ThetaJoinDetector::EstimateErrors() {
+  EnsureFresh();
   if (range_vio_valid_) return range_vio_;
+  if (!range_index_built_) BuildRangeIndex();
   const size_t p = boundaries_.size();
   range_vio_.assign(p, 0.0);
   const std::vector<size_t>& cols = dc_->involved_columns();
@@ -248,9 +582,9 @@ const std::vector<double>& ThetaJoinDetector::EstimateErrors() {
         const double hi = std::min(lp.max_val[ls], rp.max_val[rs]);
         if (lo > hi) continue;  // non-restrictive: feasibility already held
         const double ci = static_cast<double>(
-            CountRowsInRange(lp, a.left_column, lo, hi));
+            CountRowsInRange(lp, ls, lo, hi));
         const double cj = static_cast<double>(
-            CountRowsInRange(rp, a.right_column, lo, hi));
+            CountRowsInRange(rp, rs, lo, hi));
         estimate = std::min(estimate, std::min(ci, cj));
       }
       range_vio_[i] += estimate;
@@ -261,23 +595,22 @@ const std::vector<double>& ThetaJoinDetector::EstimateErrors() {
 }
 
 size_t ThetaJoinDetector::CountRowsInRange(const PartitionStats& part,
-                                           size_t col, double lo,
+                                           size_t slot, double lo,
                                            double hi) const {
-  size_t count = 0;
-  for (size_t s = part.begin; s < part.end; ++s) {
-    const double v = ColumnValue(sorted_[s], col);
-    if (v >= lo && v <= hi) ++count;
-  }
-  return count;
+  const std::vector<double>& vals = part.sorted_vals[slot];
+  auto first = std::lower_bound(vals.begin(), vals.end(), lo);
+  auto last = std::upper_bound(first, vals.end(), hi);
+  return static_cast<size_t>(last - first);
 }
 
 double ThetaJoinDetector::EstimateAccuracy(
     const std::vector<RowId>& result_rows) {
   if (result_rows.empty()) return 1.0;
   EstimateErrors();
+  const double* sort_num = cols_[sort_slot_]->num.data();
   double lo = kInf, hi = -kInf;
   for (RowId r : result_rows) {
-    const double v = ColumnValue(r, sort_column_);
+    const double v = sort_num[r];
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
@@ -285,8 +618,8 @@ double ThetaJoinDetector::EstimateAccuracy(
   for (size_t i = 0; i < boundaries_.size(); ++i) {
     const PartitionStats& part = boundaries_[i];
     if (part.begin == part.end) continue;
-    const double pmin = ColumnValue(sorted_[part.begin], sort_column_);
-    const double pmax = ColumnValue(sorted_[part.end - 1], sort_column_);
+    const double pmin = sort_num[sorted_[part.begin]];
+    const double pmax = sort_num[sorted_[part.end - 1]];
     if (pmax < lo || pmin > hi) continue;
     // Charge the answer only with the slice of the partition's estimated
     // conflicts that its range actually covers.

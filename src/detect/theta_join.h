@@ -15,15 +15,45 @@
 //  * partition-boundary overlaps give the violation estimates of
 //    Algorithm 2 (Estimate_Errors), driving the accuracy-based decision to
 //    fall back to full cleaning.
+//
+// Execution is columnar: partitions, pruning statistics, and pair checks
+// all read the table's ColumnCache flat arrays instead of dispatching on
+// Value variants per cell. DC atoms are compiled once per partition build:
+// numeric-only columns compare as doubles, same-column atoms compare dense
+// Value::Compare ranks (exact for strings and for int64 beyond double
+// precision), and only atoms relating two different string-bearing columns
+// fall back to per-cell Value evaluation. Double comparisons on mixed
+// int/double columns match Value semantics for |v| < 2^53.
+//
+// The cache's content generations are checked on every public entry: a
+// repair that edits an original value invalidates the affected column
+// projection, rebuilds the partitions, and resets the checked-row coverage
+// (the old coverage was computed on different data); candidate-only repairs
+// keep both.
+//
+// DetectAll optionally fans the surviving partition cells out over a small
+// thread pool. Results are merged in cell order, so the violation vector is
+// identical for any thread count.
 
 #ifndef DAISY_DETECT_THETA_JOIN_H_
 #define DAISY_DETECT_THETA_JOIN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "constraints/denial_constraint.h"
+#include "storage/column_cache.h"
 #include "storage/table.h"
+
+// The per-atom evaluator runs a few times per candidate pair — billions of
+// times per scan — and must not pay a call. GCC's cost model leaves it
+// out of line without the hint.
+#if defined(__GNUC__) || defined(__clang__)
+#define DAISY_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define DAISY_ALWAYS_INLINE inline
+#endif
 
 namespace daisy {
 
@@ -37,23 +67,36 @@ struct ViolationPair {
   }
 };
 
+namespace detail {
+
+/// Conservative feasibility of `[lmin,lmax] op [rmin,rmax]`: can *some*
+/// pair of values drawn from the two ranges satisfy the comparison?
+/// Exposed for unit tests.
+bool RangeFeasible(double lmin, double lmax, CompareOp op, double rmin,
+                   double rmax);
+
+}  // namespace detail
+
 /// Stateful detector bound to one table + one (non-FD) denial constraint.
 /// The state tracks which rows have been cross-checked so far, making
 /// repeated calls incremental exactly as in the paper.
 class ThetaJoinDetector {
  public:
   /// `partitions` is the paper's p (number of ranges the sorted domain is
-  /// split into). The table and constraint must outlive the detector.
+  /// split into); `threads` caps the DetectAll worker pool (1 = serial).
+  /// The table and constraint must outlive the detector.
   ThetaJoinDetector(const Table* table, const DenialConstraint* dc,
-                    size_t partitions = 16);
+                    size_t partitions = 16, size_t threads = 1);
 
   /// Checks the full upper-triangle matrix (both tuple orientations per
-  /// pair) with partition pruning. Marks every row checked.
+  /// pair) with partition pruning. Marks every row checked. The result is
+  /// deterministic and independent of the thread count.
   std::vector<ViolationPair> DetectAll();
 
-  /// Partial theta-join: checks `result_rows` against every row not yet
-  /// mutually checked, then marks `result_rows` as checked. Violations
-  /// entirely inside the unseen part are intentionally not detected.
+  /// Partial theta-join: checks `result_rows` (must be sorted ascending)
+  /// against every row not yet mutually checked, then marks `result_rows`
+  /// as checked. Violations entirely inside the unseen part are
+  /// intentionally not detected.
   std::vector<ViolationPair> DetectIncremental(
       const std::vector<RowId>& result_rows);
 
@@ -82,35 +125,95 @@ class ThetaJoinDetector {
   /// Disables partition pruning (ablation switch for benches).
   void set_pruning_enabled(bool enabled) { pruning_enabled_ = enabled; }
 
+  /// Ablation switch: evaluate pairs through per-cell Value dispatch
+  /// (DenialConstraint::ViolatedBy) instead of the compiled flat arrays.
+  void set_columnar_enabled(bool enabled) { columnar_enabled_ = enabled; }
+
+  /// DetectAll worker-pool size; clamped to at least 1.
+  void set_threads(size_t threads) { threads_ = threads == 0 ? 1 : threads; }
+
  private:
   struct PartitionStats {
     size_t begin = 0;  ///< range [begin, end) into sorted_
     size_t end = 0;
-    // Per involved column: min/max of original values (numeric only).
+    // Per involved-column slot: min/max of the numeric projection.
     std::vector<double> min_val;
     std::vector<double> max_val;
+    // Per involved-column slot: the partition's projections, sorted —
+    // Estimate_Errors range counts binary-search these (built lazily).
+    std::vector<std::vector<double>> sorted_vals;
   };
 
+  /// One DC atom compiled against the column cache. `kind` picks the
+  /// representation that reproduces EvalCompare exactly (see file comment).
+  struct CompiledAtom {
+    enum class Kind {
+      kNum,        ///< column vs column, both numeric-only: doubles
+      kRank,       ///< column vs same column: dense Compare ranks
+      kNumConst,   ///< numeric-only column vs numeric constant
+      kRankConst,  ///< column vs constant located in the rank domain
+      kNullConst,  ///< column vs null constant
+      kRow,        ///< fallback: per-cell Value evaluation
+    };
+    Kind kind = Kind::kRow;
+    CompareOp op = CompareOp::kEq;
+    int left_tuple = 0;
+    int right_tuple = 0;
+    /// False when every referenced column is null-free: the null-mask loads
+    /// are skipped entirely in the hot loop.
+    bool check_nulls = true;
+    const double* lnum = nullptr;
+    const uint8_t* lnulls = nullptr;
+    const uint32_t* lranks = nullptr;
+    const double* rnum = nullptr;
+    const uint8_t* rnulls = nullptr;
+    const uint32_t* rranks = nullptr;
+    double cnum = 0.0;      ///< kNumConst: the constant as double
+    uint32_t clo = 0;       ///< kRankConst: #distinct values Compare< const
+    bool chas_eq = false;   ///< kRankConst: some value Compare== const
+    size_t atom_index = 0;  ///< kRow: index into dc_->atoms()
+  };
+
+  void EnsureFresh();
   void BuildPartitions();
+  void CompileAtoms(ColumnCache& cache);
+  void BuildRangeIndex();
   bool PairFeasible(const PartitionStats& a, const PartitionStats& b) const;
   bool OrientationFeasible(const PartitionStats& t1_part,
                            const PartitionStats& t2_part) const;
-  void CheckPair(RowId a, RowId b, std::vector<ViolationPair>* out);
-  double ColumnValue(RowId r, size_t col) const;
-  size_t CountRowsInRange(const PartitionStats& p, size_t col, double lo,
+  DAISY_ALWAYS_INLINE bool EvalAtomFlat(const CompiledAtom& atom, RowId a,
+                                        RowId b) const;
+  std::pair<bool, bool> CheckBoth(RowId a, RowId b) const;
+  void CheckPair(RowId a, RowId b, std::vector<ViolationPair>* out,
+                 size_t* pairs) const;
+  void ScanCell(size_t i, size_t j, std::vector<ViolationPair>* out,
+                size_t* pairs) const;
+  size_t CountRowsInRange(const PartitionStats& p, size_t slot, double lo,
                           double hi) const;
 
   const Table* table_;
   const DenialConstraint* dc_;
   size_t requested_partitions_;
+  size_t threads_ = 1;
   bool pruning_enabled_ = true;
+  bool columnar_enabled_ = true;
 
   size_t sort_column_ = 0;             ///< primary inequality attribute
+  size_t sort_slot_ = 0;               ///< its slot in involved_columns()
   std::vector<RowId> sorted_;          ///< all rows, sorted by sort_column_
-  std::vector<size_t> position_;       ///< row id -> index in sorted_
   std::vector<PartitionStats> boundaries_;
   std::vector<bool> checked_;          ///< row id -> cross-checked?
-  std::vector<std::vector<bool>> cell_checked_;  ///< partition cell coverage
+
+  // Flat-array state, rebuilt whenever an involved column's storage or
+  // content moves (see EnsureFresh). cols_ is indexed by involved-column
+  // slot; col_data_ snapshots the array addresses the compiled atoms
+  // point into.
+  uint64_t cache_id_ = 0;
+  std::vector<const ColumnCache::Column*> cols_;
+  std::vector<uint64_t> col_generations_;
+  std::vector<const double*> col_data_;
+  std::vector<CompiledAtom> compiled_;
+  bool range_index_built_ = false;
 
   std::vector<double> range_vio_;      ///< Estimate_Errors cache
   bool range_vio_valid_ = false;

@@ -1,0 +1,108 @@
+#include "storage/column_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
+
+namespace daisy {
+
+namespace {
+std::atomic<uint64_t> g_next_cache_id{1};
+}  // namespace
+
+ColumnCache::ColumnCache(const Table* table)
+    : table_(table),
+      slots_(table->num_columns()),
+      id_(g_next_cache_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+double ColumnCache::NumericCoord(const Value& v) {
+  if (v.is_numeric()) return v.AsDouble();
+  return static_cast<double>(v.Hash() % (1u << 30));
+}
+
+namespace {
+
+bool SameContent(const ColumnCache::Column& a, const ColumnCache::Column& b) {
+  // codes + dict determine ranks/sorted_*; num/nulls are re-derivable from
+  // dict too, but comparing them keeps this robust to formula changes.
+  return a.nulls == b.nulls && a.codes == b.codes && a.num == b.num &&
+         a.dict == b.dict;
+}
+
+}  // namespace
+
+void ColumnCache::Rebuild(size_t c) {
+  const size_t n = table_->num_rows();
+  Column fresh;
+  fresh.num.reserve(n);
+  fresh.codes.reserve(n);
+  fresh.nulls.reserve(n);
+
+  std::unordered_map<Value, uint32_t, ValueHash> dict_index;
+  dict_index.reserve(n);
+  for (RowId r = 0; r < n; ++r) {
+    const Value& v = table_->cell(r, c).original();
+    fresh.nulls.push_back(v.is_null() ? 1 : 0);
+    if (v.is_null()) fresh.has_nulls = true;
+    if (!v.is_null() && !v.is_numeric()) fresh.numeric_only = false;
+    fresh.num.push_back(NumericCoord(v));
+    auto [it, inserted] =
+        dict_index.emplace(v, static_cast<uint32_t>(fresh.dict.size()));
+    if (inserted) fresh.dict.push_back(v);
+    fresh.codes.push_back(it->second);
+  }
+
+  // Dense ranks: order the dictionary by Value::Compare. Distinct-under-
+  // Equals values never tie under Compare (NaN aside), but break ties by
+  // code for determinism anyway.
+  std::vector<uint32_t> order(fresh.dict.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const int cmp = fresh.dict[a].Compare(fresh.dict[b]);
+    if (cmp != 0) return cmp < 0;
+    return a < b;
+  });
+  std::vector<uint32_t> rank_of_code(fresh.dict.size());
+  fresh.sorted_distinct.reserve(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    rank_of_code[order[i]] = i;
+    fresh.sorted_distinct.push_back(fresh.dict[order[i]]);
+  }
+  fresh.ranks.reserve(n);
+  for (RowId r = 0; r < n; ++r) {
+    fresh.ranks.push_back(rank_of_code[fresh.codes[r]]);
+  }
+
+  // Sorted index over the numeric projection, row id as tiebreak — the
+  // exact comparator the theta-join detector has always partitioned with.
+  fresh.sorted_rows.resize(n);
+  std::iota(fresh.sorted_rows.begin(), fresh.sorted_rows.end(), RowId{0});
+  std::sort(fresh.sorted_rows.begin(), fresh.sorted_rows.end(),
+            [&](RowId a, RowId b) {
+              if (fresh.num[a] != fresh.num[b]) {
+                return fresh.num[a] < fresh.num[b];
+              }
+              return a < b;
+            });
+  fresh.sorted_num.reserve(n);
+  for (RowId r : fresh.sorted_rows) fresh.sorted_num.push_back(fresh.num[r]);
+
+  Slot& slot = slots_[c];
+  const bool unchanged = slot.built && SameContent(slot.col, fresh);
+  fresh.generation = unchanged ? slot.col.generation : slot.col.generation + 1;
+  slot.col = std::move(fresh);
+  slot.built = true;
+  slot.built_version = table_->column_version(c);
+}
+
+const ColumnCache::Column& ColumnCache::column(size_t c) {
+  if (c >= slots_.size()) slots_.resize(table_->num_columns());
+  Slot& slot = slots_[c];
+  if (!slot.built || slot.built_version != table_->column_version(c)) {
+    Rebuild(c);
+  }
+  return slot.col;
+}
+
+}  // namespace daisy

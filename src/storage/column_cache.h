@@ -1,0 +1,111 @@
+// Columnar fast-path layer: per-column typed projections of a row-store
+// table, rebuilt lazily when the owning table's per-column version counter
+// moves.
+//
+// Detection and statistics hot loops (theta-join pair checks, FD group-bys,
+// Estimate_Errors range counting) pay per-cell std::variant dispatch when
+// they read values through Table::cell(). The cache materializes, per
+// column:
+//
+//  * `num`    — a flat double projection. Numerics widen to double; every
+//               other value maps onto the stable 1-D hash coordinate the
+//               theta-join detector has always used for partition pruning
+//               (Value::Hash() % 2^30), so partition boundaries and
+//               estimates are bit-identical to the row path.
+//  * `codes`  — dictionary codes in first-appearance order, consistent with
+//               Value::Equals / Value::Hash (int 5 and double 5.0 share a
+//               code). Group-bys hash one uint32_t per row instead of a
+//               Value tuple.
+//  * `ranks`  — dense ranks under Value::Compare (nulls first, numerics by
+//               value, strings lexicographically). Same-column atom
+//               comparisons on rank are exact for every type, including
+//               int64 values beyond double precision.
+//  * `nulls`  — null mask; EvalCompare's null semantics are re-applied on
+//               top of the flat arrays by consumers.
+//  * `sorted_rows`/`sorted_num` — row ids sorted by (num, row id) with the
+//               aligned projections, serving the detector's partition sort
+//               and binary-search range counts.
+//
+// Invalidation protocol: Table bumps a per-column version on every mutable
+// cell access (conservative — attaching repair candidates bumps it too even
+// though detection reads originals). On the next access the cache rebuilds
+// the column and compares content against the previous build; `generation`
+// advances only if the data actually changed. Consumers that keep derived
+// state (partition boundaries, checked-row sets) key it to `generation`, so
+// candidate-only repairs rebuild the projection without discarding
+// incremental detection coverage, while an original-value edit invalidates
+// everything that depends on the column.
+//
+// Not thread-safe: build the needed columns single-threaded (one
+// `column(c)` call per column), then share the returned arrays read-only
+// across worker threads.
+
+#ifndef DAISY_STORAGE_COLUMN_CACHE_H_
+#define DAISY_STORAGE_COLUMN_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+class ColumnCache {
+ public:
+  struct Column {
+    std::vector<double> num;        ///< row-ordered numeric projection
+    std::vector<uint32_t> codes;    ///< row-ordered dictionary codes
+    std::vector<uint32_t> ranks;    ///< row-ordered dense Compare ranks
+    std::vector<uint8_t> nulls;     ///< row-ordered null mask (1 = null)
+    std::vector<Value> dict;        ///< code -> first-seen value
+    std::vector<Value> sorted_distinct;  ///< rank -> representative value
+    std::vector<RowId> sorted_rows;      ///< rows by (num, row id)
+    std::vector<double> sorted_num;      ///< num aligned with sorted_rows
+    bool numeric_only = true;  ///< every non-null value is numeric
+    bool has_nulls = false;    ///< some value is null
+    /// Advances only when a rebuild produced different content.
+    uint64_t generation = 0;
+  };
+
+  /// `table` must outlive the cache.
+  explicit ColumnCache(const Table* table);
+
+  /// Returns the projection of column `c`, rebuilding it first if the
+  /// table's version counter for `c` moved since the last build. The
+  /// reference stays valid until the next rebuild of the same column.
+  const Column& column(size_t c);
+
+  /// Content generation of column `c` (ensures freshness first).
+  uint64_t generation(size_t c) { return column(c).generation; }
+
+  /// Process-unique identity of this cache instance. A consumer holding
+  /// array pointers must treat a different id as a wholesale data change
+  /// (the table was reassigned and its cache rebuilt from scratch —
+  /// generations restart and are not comparable across instances).
+  uint64_t id() const { return id_; }
+
+  const Table& table() const { return *table_; }
+
+  /// The shared 1-D coordinate: numerics widen to double, everything else
+  /// (nulls included) maps to Value::Hash() % 2^30 — equal values collide,
+  /// so equality pruning on the coordinate stays conservative-correct.
+  static double NumericCoord(const Value& v);
+
+ private:
+  struct Slot {
+    Column col;
+    uint64_t built_version = 0;
+    bool built = false;
+  };
+
+  void Rebuild(size_t c);
+
+  const Table* table_;
+  std::vector<Slot> slots_;
+  uint64_t id_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_STORAGE_COLUMN_CACHE_H_

@@ -3,8 +3,61 @@
 #include <sstream>
 
 #include "common/csv.h"
+#include "storage/column_cache.h"
 
 namespace daisy {
+
+Table::Table() = default;
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Table::~Table() = default;
+
+Table::Table(const Table& other)
+    : name_(other.name_),
+      schema_(other.schema_),
+      rows_(other.rows_),
+      version_(other.version_),
+      column_versions_(other.column_versions_) {}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  schema_ = other.schema_;
+  rows_ = other.rows_;
+  version_ = other.version_;
+  column_versions_ = other.column_versions_;
+  cache_.reset();  // held a pointer to *this with the old contents
+  return *this;
+}
+
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      version_(other.version_),
+      column_versions_(std::move(other.column_versions_)) {
+  // other.cache_ points at `other`; never adopt it.
+  other.cache_.reset();
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  schema_ = std::move(other.schema_);
+  rows_ = std::move(other.rows_);
+  version_ = other.version_;
+  column_versions_ = std::move(other.column_versions_);
+  cache_.reset();
+  other.cache_.reset();
+  return *this;
+}
+
+ColumnCache& Table::columns() const {
+  if (cache_ == nullptr) cache_ = std::make_unique<ColumnCache>(this);
+  return *cache_;
+}
 
 namespace {
 
@@ -43,11 +96,13 @@ Status Table::AppendRow(std::vector<Value> values) {
     row.cells.emplace_back(std::move(values[i]));
   }
   rows_.push_back(std::move(row));
+  BumpAllColumns();
   return Status::OK();
 }
 
 RowId Table::AppendRowUnchecked(Row row) {
   rows_.push_back(std::move(row));
+  BumpAllColumns();
   return rows_.size() - 1;
 }
 
@@ -79,6 +134,7 @@ void Table::ResetToOriginal() {
   for (Row& r : rows_) {
     for (Cell& c : r.cells) c.ClearCandidates();
   }
+  BumpAllColumns();
 }
 
 Result<Table> Table::FromCsv(const std::string& path, const std::string& name,

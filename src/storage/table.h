@@ -9,6 +9,7 @@
 #define DAISY_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "storage/schema.h"
 
 namespace daisy {
+
+class ColumnCache;
 
 /// Stable row identifier within one table.
 using RowId = size_t;
@@ -27,11 +30,24 @@ struct Row {
 };
 
 /// A named relation with probabilistic cells.
+///
+/// Every mutable access path bumps a per-column version counter so the
+/// derived columnar projections (see storage/column_cache.h) can invalidate
+/// only the touched columns. Handing out `mutable_cell`/`mutable_row`
+/// references counts as a mutation of the addressed column(s) — do not
+/// stash such a reference and write through it across reads of the cache.
 class Table {
  public:
-  Table() = default;
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table();
+  Table(std::string name, Schema schema);
+  ~Table();
+
+  // Copies and moves drop the derived column cache (it holds a pointer to
+  // the source table); it is rebuilt lazily on the next columns() access.
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -39,9 +55,25 @@ class Table {
   size_t num_columns() const { return schema_.num_columns(); }
 
   const Row& row(RowId r) const { return rows_[r]; }
-  Row& mutable_row(RowId r) { return rows_[r]; }
+  Row& mutable_row(RowId r) {
+    BumpAllColumns();
+    return rows_[r];
+  }
   const Cell& cell(RowId r, size_t c) const { return rows_[r].cells[c]; }
-  Cell& mutable_cell(RowId r, size_t c) { return rows_[r].cells[c]; }
+  Cell& mutable_cell(RowId r, size_t c) {
+    BumpColumn(c);
+    return rows_[r].cells[c];
+  }
+
+  /// Mutation counter of column `c`; moves on every mutable access that may
+  /// touch the column (including whole-table operations like AppendRow).
+  uint64_t column_version(size_t c) const {
+    return version_ + (c < column_versions_.size() ? column_versions_[c] : 0);
+  }
+
+  /// Lazily-built columnar projections of this table (flat typed arrays,
+  /// dictionary codes, sorted indexes). Logically const: derived data only.
+  ColumnCache& columns() const;
 
   /// Appends a tuple of deterministic values. Fails on arity mismatch or on
   /// a non-null value whose type class disagrees with the schema.
@@ -78,9 +110,18 @@ class Table {
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  void BumpColumn(size_t c) {
+    if (column_versions_.size() <= c) column_versions_.resize(c + 1, 0);
+    ++column_versions_[c];
+  }
+  void BumpAllColumns() { ++version_; }
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  uint64_t version_ = 0;  ///< whole-table mutations (appends, row access)
+  std::vector<uint64_t> column_versions_;  ///< per-column cell mutations
+  mutable std::unique_ptr<ColumnCache> cache_;  ///< derived, built on demand
 };
 
 }  // namespace daisy

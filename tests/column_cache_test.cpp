@@ -1,0 +1,152 @@
+// Tests for the columnar fast-path layer: typed projections, dictionary
+// codes, Compare ranks, the sorted index, and the version/generation
+// invalidation protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/column_cache.h"
+#include "storage/table.h"
+
+namespace daisy {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"amount", ValueType::kDouble}, {"city", ValueType::kString}});
+}
+
+Table MixedTable() {
+  Table t("mixed", MixedSchema());
+  EXPECT_TRUE(t.AppendRow({Value(5.0), Value("LA")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(5), Value("SF")}).ok());  // int 5 == 5.0
+  EXPECT_TRUE(t.AppendRow({Value(2.5), Value("LA")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value("NY")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(7.0), Value::Null()}).ok());
+  return t;
+}
+
+TEST(ColumnCacheTest, NumericProjectionMatchesValues) {
+  Table t = MixedTable();
+  const ColumnCache::Column& col = t.columns().column(0);
+  ASSERT_EQ(col.num.size(), 5u);
+  EXPECT_EQ(col.num[0], 5.0);
+  EXPECT_EQ(col.num[1], 5.0);
+  EXPECT_EQ(col.num[2], 2.5);
+  // Null maps onto the stable hash coordinate, exactly like the theta-join
+  // row path always did.
+  EXPECT_EQ(col.num[3], ColumnCache::NumericCoord(Value::Null()));
+  EXPECT_TRUE(col.numeric_only);
+  EXPECT_EQ(col.nulls, (std::vector<uint8_t>{0, 0, 0, 1, 0}));
+}
+
+TEST(ColumnCacheTest, DictionaryCodesConsistentWithEquals) {
+  Table t = MixedTable();
+  const ColumnCache::Column& amount = t.columns().column(0);
+  // int 5 and double 5.0 are Equals-equal -> same code.
+  EXPECT_EQ(amount.codes[0], amount.codes[1]);
+  EXPECT_NE(amount.codes[0], amount.codes[2]);
+  EXPECT_EQ(amount.dict.size(), 4u);  // {5, 2.5, null, 7}
+
+  const ColumnCache::Column& city = t.columns().column(1);
+  EXPECT_FALSE(city.numeric_only);
+  EXPECT_EQ(city.codes[0], city.codes[2]);  // LA twice
+  EXPECT_NE(city.codes[0], city.codes[1]);
+  EXPECT_EQ(city.dict.size(), 4u);  // {LA, SF, NY, null}
+}
+
+TEST(ColumnCacheTest, RanksFollowValueCompare) {
+  Table t = MixedTable();
+  const ColumnCache::Column& amount = t.columns().column(0);
+  // Compare order: null < 2.5 < 5 < 7.
+  EXPECT_EQ(amount.ranks[3], 0u);
+  EXPECT_EQ(amount.ranks[2], 1u);
+  EXPECT_EQ(amount.ranks[0], 2u);
+  EXPECT_EQ(amount.ranks[1], 2u);
+  EXPECT_EQ(amount.ranks[4], 3u);
+
+  const ColumnCache::Column& city = t.columns().column(1);
+  // null < "LA" < "NY" < "SF" (nulls first, strings lexicographic).
+  EXPECT_EQ(city.ranks[4], 0u);
+  EXPECT_EQ(city.ranks[0], 1u);
+  EXPECT_EQ(city.ranks[3], 2u);
+  EXPECT_EQ(city.ranks[1], 3u);
+  // sorted_distinct mirrors the rank order.
+  ASSERT_EQ(city.sorted_distinct.size(), 4u);
+  EXPECT_EQ(city.sorted_distinct[1], Value("LA"));
+  EXPECT_EQ(city.sorted_distinct[3], Value("SF"));
+}
+
+TEST(ColumnCacheTest, SortedIndexOrdersByProjectionThenRowId) {
+  Table t("t", Schema({{"x", ValueType::kInt}}));
+  ASSERT_TRUE(t.AppendRow({Value(3)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2)}).ok());
+  const ColumnCache::Column& col = t.columns().column(0);
+  EXPECT_EQ(col.sorted_rows, (std::vector<RowId>{1, 3, 0, 2}));
+  EXPECT_EQ(col.sorted_num, (std::vector<double>{1, 2, 3, 3}));
+}
+
+TEST(ColumnCacheTest, MutationBumpsOnlyAffectedColumnVersion) {
+  Table t = MixedTable();
+  const uint64_t v0 = t.column_version(0);
+  const uint64_t v1 = t.column_version(1);
+  t.mutable_cell(2, 0) = Cell(Value(9.0));
+  EXPECT_GT(t.column_version(0), v0);
+  EXPECT_EQ(t.column_version(1), v1);
+  // Appending a row touches every column.
+  ASSERT_TRUE(t.AppendRow({Value(1.0), Value("X")}).ok());
+  EXPECT_GT(t.column_version(1), v1);
+}
+
+TEST(ColumnCacheTest, RepairedOriginalIsVisibleAfterInvalidation) {
+  Table t = MixedTable();
+  ColumnCache& cache = t.columns();
+  const uint64_t city_gen = cache.generation(1);
+  EXPECT_EQ(cache.column(0).num[2], 2.5);
+  t.mutable_cell(2, 0) = Cell(Value(9.0));
+  EXPECT_EQ(cache.column(0).num[2], 9.0);
+  // The untouched column keeps its generation (no invalidation).
+  EXPECT_EQ(cache.generation(1), city_gen);
+}
+
+TEST(ColumnCacheTest, GenerationAdvancesOnlyOnContentChange) {
+  Table t = MixedTable();
+  ColumnCache& cache = t.columns();
+  const uint64_t g0 = cache.generation(0);
+  // Candidate-only repair: version moves, content does not -> generation
+  // stays, so detectors keep their incremental coverage.
+  t.mutable_cell(0, 0).add_candidate({Value(6.0), 1.0, 0,
+                                      CandidateKind::kPoint});
+  EXPECT_EQ(cache.generation(0), g0);
+  // Original-value edit: content changes -> generation advances.
+  t.mutable_cell(0, 0) = Cell(Value(6.0));
+  EXPECT_GT(cache.generation(0), g0);
+}
+
+TEST(ColumnCacheTest, CopyAndMoveDropDerivedCache) {
+  Table t = MixedTable();
+  (void)t.columns().column(0);
+  Table copy = t;
+  EXPECT_EQ(copy.columns().column(0).num[2], 2.5);
+  // Mutating the copy must not affect the original's projections.
+  copy.mutable_cell(2, 0) = Cell(Value(1.0));
+  EXPECT_EQ(copy.columns().column(0).num[2], 1.0);
+  EXPECT_EQ(t.columns().column(0).num[2], 2.5);
+
+  Table moved = std::move(copy);
+  EXPECT_EQ(moved.columns().column(0).num[2], 1.0);
+}
+
+TEST(ColumnCacheTest, AppendAfterBuildIsPickedUp) {
+  Table t("t", Schema({{"x", ValueType::kInt}}));
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  EXPECT_EQ(t.columns().column(0).num.size(), 1u);
+  ASSERT_TRUE(t.AppendRow({Value(2)}).ok());
+  EXPECT_EQ(t.columns().column(0).num.size(), 2u);
+  EXPECT_EQ(t.columns().column(0).sorted_rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace daisy

@@ -102,6 +102,63 @@ TEST(FdDetectorTest, ScopeRestriction) {
   EXPECT_EQ(DetectFdViolations(t, dc, {0, 1}).size(), 1u);
 }
 
+// ------------------------------------------------- columnar equivalence --
+
+TEST(GroupByTest, ColumnarMatchesRowPath) {
+  Table t = CitiesTable();
+  for (const std::vector<size_t>& cols :
+       {std::vector<size_t>{0}, std::vector<size_t>{1},
+        std::vector<size_t>{0, 1}}) {
+    GroupMap columnar = GroupRowsBy(t, cols, t.AllRowIds());
+    GroupMap row_path = GroupRowsByRowPath(t, cols, t.AllRowIds());
+    ASSERT_EQ(columnar.size(), row_path.size());
+    for (const auto& [key, members] : row_path) {
+      auto it = columnar.find(key);
+      ASSERT_NE(it, columnar.end());
+      EXPECT_EQ(it->second, members);
+    }
+  }
+}
+
+TEST(FdDetectorTest, ColumnarMatchesRowPath) {
+  Table t = CitiesTable();
+  auto dc =
+      ParseConstraint("FD zip -> city", "cities", CitySchema()).ValueOrDie();
+  const auto columnar = DetectFdViolations(t, dc, t.AllRowIds(), true);
+  const auto row_path = DetectFdViolationsRowPath(t, dc, t.AllRowIds(), true);
+  ASSERT_EQ(columnar.size(), row_path.size());
+  for (size_t i = 0; i < columnar.size(); ++i) {
+    EXPECT_EQ(columnar[i].lhs_key, row_path[i].lhs_key);
+    EXPECT_EQ(columnar[i].rows, row_path[i].rows);
+    EXPECT_EQ(columnar[i].rhs_histogram, row_path[i].rhs_histogram);
+  }
+}
+
+// ----------------------------------------------------- range feasibility --
+
+TEST(RangeFeasibleTest, NeqSingleValueRanges) {
+  using detail::RangeFeasible;
+  // Both sides a single value: feasible iff the values differ.
+  EXPECT_FALSE(RangeFeasible(3, 3, CompareOp::kNeq, 3, 3));
+  EXPECT_TRUE(RangeFeasible(3, 3, CompareOp::kNeq, 4, 4));
+  EXPECT_TRUE(RangeFeasible(4, 4, CompareOp::kNeq, 3, 3));
+  // One side a single value inside the other's wider range: the wider range
+  // offers a distinct value.
+  EXPECT_TRUE(RangeFeasible(3, 3, CompareOp::kNeq, 1, 5));
+  EXPECT_TRUE(RangeFeasible(1, 5, CompareOp::kNeq, 3, 3));
+  // Two wider ranges, even identical ones, are always feasible.
+  EXPECT_TRUE(RangeFeasible(1, 5, CompareOp::kNeq, 1, 5));
+}
+
+TEST(RangeFeasibleTest, OrderAndEqualityOps) {
+  using detail::RangeFeasible;
+  EXPECT_TRUE(RangeFeasible(1, 2, CompareOp::kLt, 2, 3));
+  EXPECT_FALSE(RangeFeasible(3, 4, CompareOp::kLt, 1, 3));
+  EXPECT_TRUE(RangeFeasible(3, 4, CompareOp::kLeq, 1, 3));
+  EXPECT_TRUE(RangeFeasible(2, 3, CompareOp::kEq, 3, 5));
+  EXPECT_FALSE(RangeFeasible(2, 3, CompareOp::kEq, 4, 5));
+}
+
 // -------------------------------------------------- theta-join detection --
 
 // Reference: all violating oriented pairs by brute force.
@@ -217,6 +274,148 @@ TEST(ThetaJoinTest, SupportGrowsMonotonically) {
     EXPECT_GE(cur, prev);
     prev = cur;
   }
+}
+
+TEST(ThetaJoinTest, ColumnarMatchesRowPathEvaluation) {
+  Table t = RandomSalaryTable(60, 47, 0.2);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector columnar(&t, &dc, 8);
+  ThetaJoinDetector row_path(&t, &dc, 8);
+  row_path.set_columnar_enabled(false);
+  EXPECT_EQ(columnar.DetectAll(), row_path.DetectAll());
+}
+
+TEST(ThetaJoinTest, ColumnarHandlesStringAndConstantAtoms) {
+  Schema schema({{"zip", ValueType::kInt}, {"city", ValueType::kString}});
+  Table t("cities", schema);
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("LA")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("SF")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2), Value("LA")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3), Value("LA")}).ok());
+  for (const char* text :
+       {"dc: !(t1.zip == t2.zip & t1.city != t2.city)",
+        "dc: !(t1.city == 'LA' & t2.city == 'SF' & t1.zip <= t2.zip)",
+        "dc: !(t1.zip > t2.zip & t1.city == t2.city)",
+        "dc: !(t1.zip >= 2 & t1.city != t2.city)"}) {
+    auto dc = ParseConstraint(text, "cities", schema).ValueOrDie();
+    ThetaJoinDetector detector(&t, &dc, 3);
+    EXPECT_EQ(AsSet(detector.DetectAll()), BruteForce(t, dc)) << text;
+  }
+}
+
+TEST(ThetaJoinTest, ParallelDetectAllIsDeterministic) {
+  Table t = RandomSalaryTable(120, 53, 0.25);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector serial(&t, &dc, 8, /*threads=*/1);
+  ThetaJoinDetector parallel(&t, &dc, 8, /*threads=*/4);
+  const auto serial_out = serial.DetectAll();
+  const auto parallel_out = parallel.DetectAll();
+  // Same violations in the same order, not merely the same set.
+  EXPECT_EQ(serial_out, parallel_out);
+  EXPECT_EQ(serial.pairs_checked(), parallel.pairs_checked());
+  EXPECT_TRUE(parallel.FullyChecked());
+}
+
+TEST(ThetaJoinTest, IncrementalChecksEachPairExactlyOnce) {
+  const size_t n = 40;
+  Table t = RandomSalaryTable(n, 59, 0.3);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 4);
+  detector.set_pruning_enabled(false);
+  std::vector<RowId> result = {3, 7, 11, 20, 33};
+  (void)detector.DetectIncremental(result);
+  // result x rest, plus each unordered pair inside the result once.
+  const size_t k = result.size();
+  EXPECT_EQ(detector.pairs_checked(), k * (n - k) + k * (k - 1) / 2);
+}
+
+TEST(ThetaJoinTest, RepairInvalidatesDetectorState) {
+  Schema schema({{"salary", ValueType::kDouble}, {"tax", ValueType::kDouble}});
+  Table t("emp", schema);
+  // Monotone taxes except row 2, which overtaxes a low salary.
+  ASSERT_TRUE(t.AppendRow({Value(1000.0), Value(0.10)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2000.0), Value(0.20)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3000.0), Value(0.90)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(4000.0), Value(0.40)}).ok());
+  DenialConstraint dc = SalaryDc(schema);
+  ThetaJoinDetector detector(&t, &dc, 2);
+  ASSERT_FALSE(BruteForce(t, dc).empty());  // the seed data is dirty
+  EXPECT_EQ(AsSet(detector.DetectAll()), BruteForce(t, dc));
+
+  // A candidate-only repair keeps the coverage: nothing is re-checked.
+  t.mutable_cell(2, 1).add_candidate({Value(0.30), 1.0, 0,
+                                      CandidateKind::kPoint});
+  EXPECT_TRUE(detector.DetectAll().empty());
+  EXPECT_EQ(detector.pairs_checked(), 0u);
+
+  // Repairing the original value invalidates the column projection and the
+  // stale coverage: detection sees the new value and the table is clean.
+  t.mutable_cell(2, 1) = Cell(Value(0.30));
+  EXPECT_EQ(AsSet(detector.DetectAll()), BruteForce(t, dc));
+  EXPECT_TRUE(BruteForce(t, dc).empty());
+
+  // Estimates are refreshed too: a clean monotone table estimates no
+  // errors, while the dirty version estimated some.
+  double total = 0;
+  for (double v : detector.EstimateErrors()) total += v;
+  EXPECT_EQ(total, 0.0);
+}
+
+TEST(ThetaJoinTest, CandidateRepairMidWorkloadKeepsDetectionCorrect) {
+  // Regression: a candidate-only repair bumps the column version, so the
+  // cache rebuilds its (identical) arrays before the next detection. The
+  // detector must re-point its compiled atoms at the new storage while
+  // keeping its incremental coverage.
+  Table t = RandomSalaryTable(60, 61, 0.2);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 8);
+  std::set<std::pair<RowId, RowId>> found;
+  std::vector<RowId> batch1, batch2;
+  for (RowId r = 0; r < 30; ++r) batch1.push_back(r);
+  for (RowId r = 30; r < 60; ++r) batch2.push_back(r);
+  for (const ViolationPair& p : detector.DetectIncremental(batch1)) {
+    found.insert({p.t1, p.t2});
+  }
+  const size_t after_first = detector.pairs_checked();
+  EXPECT_GT(after_first, 0u);
+  // Candidate-only repair between the two queries.
+  t.mutable_cell(0, 1).add_candidate({Value(0.5), 1.0, 0,
+                                      CandidateKind::kPoint});
+  for (const ViolationPair& p : detector.DetectIncremental(batch2)) {
+    found.insert({p.t1, p.t2});
+  }
+  EXPECT_TRUE(detector.FullyChecked());
+  EXPECT_EQ(found, BruteForce(t, dc));
+}
+
+TEST(ThetaJoinTest, TableReassignmentRefreshesDetector) {
+  // Regression: assigning new contents to the table resets its column
+  // cache; the detector must treat the new cache instance as a wholesale
+  // data change (generation counters restart and may collide).
+  Table t = RandomSalaryTable(40, 71, 0.2);
+  DenialConstraint dc = SalaryDc(t.schema());
+  ThetaJoinDetector detector(&t, &dc, 4);
+  (void)detector.DetectAll();
+  t = RandomSalaryTable(40, 72, 0.3);
+  EXPECT_EQ(AsSet(detector.DetectAll()), BruteForce(t, dc));
+}
+
+TEST(ThetaJoinTest, EstimateErrorsSeesRepairedValues) {
+  Table dirty = RandomSalaryTable(100, 41, 0.4);
+  DenialConstraint dc = SalaryDc(dirty.schema());
+  ThetaJoinDetector detector(&dirty, &dc, 8);
+  double before = 0;
+  for (double v : detector.EstimateErrors()) before += v;
+  EXPECT_GT(before, 0.0);
+  // Repair every tax to the clean monotone value.
+  for (RowId r = 0; r < dirty.num_rows(); ++r) {
+    const double salary = dirty.cell(r, 0).original().AsDouble();
+    dirty.mutable_cell(r, 1) = Cell(Value(salary / 200000.0));
+  }
+  double after = 0;
+  for (double v : detector.EstimateErrors()) after += v;
+  EXPECT_EQ(after, 0.0);
 }
 
 TEST(ThetaJoinTest, EstimateErrorsFlagsDirtyRegions) {
