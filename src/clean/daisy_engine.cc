@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "query/eval.h"
+#include "plan/planner.h"
 #include "query/parser.h"
 
 namespace daisy {
@@ -29,6 +29,22 @@ Status DaisyEngine::Prepare() {
                                              state.theta.get());
     rules_.emplace(dc.name(), std::move(state));
   }
+
+  // Bind the per-rule operator state for the planner: every query lowers
+  // through the shared plan layer with these side-inputs.
+  plan_context_ = std::make_unique<CleaningPlanContext>();
+  plan_context_->constraints = &constraints_;
+  plan_context_->statistics = &statistics_;
+  plan_context_->options = MakeCleaningOptions();
+  plan_context_->adaptive = options_.mode == DaisyOptions::Mode::kAdaptive;
+  for (auto& [name, state] : rules_) {
+    CleaningRuleBinding binding;
+    binding.dc = state.dc;
+    binding.table = state.table;
+    binding.op = state.op.get();
+    binding.cost = &state.cost;
+    plan_context_->rules.emplace(name, binding);
+  }
   prepared_ = true;
   return Status::OK();
 }
@@ -41,66 +57,6 @@ CleaningOptions DaisyEngine::MakeCleaningOptions() const {
   return opts;
 }
 
-namespace {
-
-void CollectExprColumns(const Expr& expr, const Table& table,
-                        std::vector<size_t>* cols) {
-  switch (expr.kind) {
-    case Expr::Kind::kCmp: {
-      auto add = [&](const ColumnRef& ref) {
-        if (!ref.table.empty() && ref.table != table.name()) return;
-        auto idx = table.schema().ColumnIndex(ref.column);
-        if (idx.ok()) cols->push_back(idx.value());
-      };
-      add(expr.left);
-      if (expr.right_is_column) add(expr.right_col);
-      break;
-    }
-    case Expr::Kind::kAnd:
-    case Expr::Kind::kOr:
-      for (const auto& child : expr.children) {
-        CollectExprColumns(*child, table, cols);
-      }
-      break;
-  }
-}
-
-}  // namespace
-
-Result<std::vector<size_t>> DaisyEngine::QueryColumnsForTable(
-    const SelectStmt& stmt, const Table& table, const SplitWhere& split,
-    size_t table_idx) const {
-  std::vector<size_t> cols;
-  // Select list (star = every column).
-  for (const SelectItem& item : stmt.select_list) {
-    if (item.star) {
-      for (size_t c = 0; c < table.schema().num_columns(); ++c) {
-        cols.push_back(c);
-      }
-      continue;
-    }
-    if (!item.col.table.empty() && item.col.table != table.name()) continue;
-    auto idx = table.schema().ColumnIndex(item.col.column);
-    if (idx.ok()) cols.push_back(idx.value());
-  }
-  // WHERE leaves.
-  if (stmt.where != nullptr) CollectExprColumns(*stmt.where, table, &cols);
-  // Join keys.
-  for (const SplitWhere::JoinPred& p : split.joins) {
-    if (p.left_table == table_idx) cols.push_back(p.left_col);
-    if (p.right_table == table_idx) cols.push_back(p.right_col);
-  }
-  // Group-by columns.
-  for (const ColumnRef& ref : stmt.group_by) {
-    if (!ref.table.empty() && ref.table != table.name()) continue;
-    auto idx = table.schema().ColumnIndex(ref.column);
-    if (idx.ok()) cols.push_back(idx.value());
-  }
-  std::sort(cols.begin(), cols.end());
-  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  return cols;
-}
-
 Result<QueryReport> DaisyEngine::Query(const std::string& sql) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
   return Query(stmt);
@@ -110,95 +66,35 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
   if (!prepared_) {
     return Status::Internal("DaisyEngine::Prepare() must be called first");
   }
-  std::vector<Table*> tables;
-  std::vector<const Table*> const_tables;
-  for (const std::string& name : stmt.tables) {
-    DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(name));
-    tables.push_back(t);
-    const_tables.push_back(t);
-  }
-  if (tables.empty()) return Status::InvalidArgument("no FROM tables");
-  DAISY_ASSIGN_OR_RETURN(SplitWhere split,
-                         SplitWhereClause(stmt, const_tables));
-
+  Planner planner(db_);
+  planner.set_columnar_filters(options_.columnar_filters);
+  DAISY_ASSIGN_OR_RETURN(Plan plan,
+                         planner.PlanQuery(stmt, plan_context_.get()));
   QueryReport report;
-  const CleaningOptions clean_opts = MakeCleaningOptions();
-
-  // Per-table: filter, then inject cleanσ for every overlapping rule.
-  std::vector<std::vector<RowId>> qualifying(tables.size());
-  for (size_t i = 0; i < tables.size(); ++i) {
-    Table* table = tables[i];
-    const Expr* filter = split.table_filters[i].get();
-    DAISY_ASSIGN_OR_RETURN(qualifying[i],
-                           FilterRows(*table, filter, table->AllRowIds()));
-
-    DAISY_ASSIGN_OR_RETURN(std::vector<size_t> query_cols,
-                           QueryColumnsForTable(stmt, *table, split, i));
-    const std::vector<const DenialConstraint*> overlapping =
-        constraints_.Overlapping(table->name(), query_cols);
-    for (const DenialConstraint* dc : overlapping) {
-      RuleState& state = rules_.at(dc->name());
-      DAISY_ASSIGN_OR_RETURN(
-          CleanSelectResult cres,
-          state.op->Run(filter, qualifying[i], clean_opts));
-      qualifying[i] = cres.final_rows;
-      ++report.rules_applied;
-      if (cres.pruned) ++report.rules_pruned;
-      report.extra_tuples += cres.extra_tuples;
-      report.errors_fixed += cres.errors_fixed;
-      report.tuples_scanned += cres.tuples_scanned;
-      report.detect_ops += cres.detect_ops;
-      report.used_dc_full_clean |= cres.used_full_clean;
-      report.min_estimated_accuracy =
-          std::min(report.min_estimated_accuracy, cres.estimated_accuracy);
-
-      // Cost-model bookkeeping and the adaptive switch (Section 5.2.3).
-      // Pruned invocations did no relaxation/repair work and accrue no
-      // incremental cost.
-      const FdRuleStats* rstats = statistics_.ForRule(dc->name());
-      const double width = rstats != nullptr ? rstats->avg_candidates : 2.0;
-      if (!cres.pruned) {
-        QueryCostSample sample;
-        sample.dataset_size = table->num_rows();
-        sample.result_size = qualifying[i].size();
-        sample.extra_size = cres.extra_tuples;
-        sample.errors = cres.errors_fixed;
-        sample.detect_ops = cres.detect_ops;
-        sample.candidate_width = width;
-        state.cost.RecordQuery(sample);
-      }
-      if (options_.mode == DaisyOptions::Mode::kAdaptive &&
-          !state.op->fully_checked()) {
-        const size_t epsilon = rstats != nullptr
-                                   ? rstats->num_violating_rows
-                                   : table->num_rows() / 10;
-        const size_t groups = rstats != nullptr
-                                  ? rstats->num_violating_groups
-                                  : std::max<size_t>(1, epsilon / 10);
-        if (state.cost.ShouldSwitchToFull(table->num_rows(), groups, epsilon,
-                                          width)) {
-          DAISY_ASSIGN_OR_RETURN(CleanSelectResult fres,
-                                 state.op->CleanRemaining(clean_opts));
-          report.switched_to_full = true;
-          report.errors_fixed += fres.errors_fixed;
-          // Recompute the qualifying rows over the now-clean table.
-          DAISY_ASSIGN_OR_RETURN(
-              qualifying[i],
-              FilterRows(*table, filter, table->AllRowIds()));
-        }
-      }
-    }
-  }
-
-  // clean⋈ (Definition 3): both sides are clean at this point; by Lemma 5
-  // the join over the cleaned qualifying parts needs no extra checks. The
-  // incremental-join update is subsumed by joining the corrected row sets.
-  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
-                         JoinTables(const_tables, qualifying, split.joins));
-  DAISY_ASSIGN_OR_RETURN(
-      report.output,
-      QueryExecutor::BuildOutput(stmt, const_tables, std::move(joined)));
+  DAISY_ASSIGN_OR_RETURN(report.output, plan.Execute());
+  const CleaningExecStats& cs = plan.cleaning_stats();
+  report.extra_tuples = cs.extra_tuples;
+  report.errors_fixed = cs.errors_fixed;
+  report.tuples_scanned = cs.tuples_scanned;
+  report.detect_ops = cs.detect_ops;
+  report.rules_applied = cs.rules_applied;
+  report.rules_pruned = cs.rules_pruned;
+  report.switched_to_full = cs.switched_to_full;
+  report.used_dc_full_clean = cs.used_dc_full_clean;
+  report.min_estimated_accuracy = cs.min_estimated_accuracy;
   return report;
+}
+
+Result<std::string> DaisyEngine::Explain(const std::string& sql) {
+  if (!prepared_) {
+    return Status::Internal("DaisyEngine::Prepare() must be called first");
+  }
+  DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  Planner planner(db_);
+  planner.set_columnar_filters(options_.columnar_filters);
+  DAISY_ASSIGN_OR_RETURN(Plan plan,
+                         planner.PlanQuery(stmt, plan_context_.get()));
+  return plan.Explain();
 }
 
 Status DaisyEngine::CleanAllRemaining() {

@@ -27,6 +27,7 @@
 #include "clean/cost_model.h"
 #include "clean/statistics.h"
 #include "constraints/constraint_set.h"
+#include "plan/planner.h"
 #include "query/executor.h"
 #include "storage/database.h"
 
@@ -48,6 +49,9 @@ struct DaisyOptions {
   size_t detect_threads = 1;
   bool use_statistics_pruning = true;
   bool theta_pruning = true;
+  /// Compile plan Filter predicates against the ColumnCache typed arrays
+  /// (ablation switch; the row-path evaluator is the fallback).
+  bool columnar_filters = true;
 };
 
 /// Per-query execution report: the corrected output plus the cleaning
@@ -80,6 +84,11 @@ class DaisyEngine {
   Result<QueryReport> Query(const std::string& sql);
   Result<QueryReport> Query(const SelectStmt& stmt);
 
+  /// Deterministic text rendering of the cleaning-augmented plan for `sql`
+  /// without executing it (cleanσ nodes per overlapping rule, clean⋈ over
+  /// cleaned sides, statistics-pruned rules dropped).
+  Result<std::string> Explain(const std::string& sql);
+
   /// Cleans every remaining dirty tuple for all rules (manual switch).
   Status CleanAllRemaining();
 
@@ -109,9 +118,6 @@ class DaisyEngine {
   };
 
   CleaningOptions MakeCleaningOptions() const;
-  Result<std::vector<size_t>> QueryColumnsForTable(
-      const SelectStmt& stmt, const Table& table,
-      const SplitWhere& split, size_t table_idx) const;
 
   Database* db_;
   ConstraintSet constraints_;
@@ -119,6 +125,9 @@ class DaisyEngine {
   Statistics statistics_;
   std::map<std::string, RuleState> rules_;          ///< by rule name
   std::map<std::string, ProvenanceStore> provenance_;  ///< by table name
+  /// Planner side-inputs pointing into rules_/statistics_; rebuilt by
+  /// Prepare().
+  std::unique_ptr<CleaningPlanContext> plan_context_;
   bool prepared_ = false;
 };
 

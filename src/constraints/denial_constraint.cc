@@ -1,6 +1,7 @@
 #include "constraints/denial_constraint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -168,14 +169,76 @@ Result<Operand> ParseOperand(const std::string& raw, const Schema& schema) {
   return op;
 }
 
+// First unquoted occurrence of `needle` in `text` at or after `from`.
+// Quoted regions ('...' or "...") are opaque, so constants may contain
+// operator characters, '&' and ':'.
+size_t FindUnquoted(const std::string& text, const std::string& needle,
+                    size_t from = 0) {
+  char quote = '\0';
+  for (size_t i = from; i < text.size(); ++i) {
+    if (quote != '\0') {
+      if (text[i] == quote) quote = '\0';
+      continue;
+    }
+    if (text[i] == '\'' || text[i] == '"') {
+      quote = text[i];
+      continue;
+    }
+    if (text.compare(i, needle.size(), needle) == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// Splits on an unquoted separator character.
+std::vector<std::string> SplitUnquoted(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = FindUnquoted(text, std::string(1, sep), start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool QuotesBalanced(const std::string& text) {
+  char quote = '\0';
+  for (char c : text) {
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    }
+  }
+  return quote == '\0';
+}
+
+// A rule-name prefix must look like an identifier; anything else (e.g. an
+// atom whose quoted constant contains ':') is part of the body.
+bool IsRuleName(const std::string& text) {
+  if (text.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(text.front()))) return false;
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
 Result<PredicateAtom> ParseAtom(const std::string& raw, const Schema& schema) {
   const std::string text = Trim(raw);
-  // Find the operator. Longest-match first to keep "<=" from parsing as "<".
+  // Find the operator outside quoted constants. Longest-match first to keep
+  // "<=" from parsing as "<".
   static const char* kOps[] = {"<=", ">=", "==", "!=", "<>", "<", ">", "="};
   size_t op_pos = std::string::npos;
   std::string op_token;
   for (const char* candidate : kOps) {
-    const size_t pos = text.find(candidate);
+    const size_t pos = FindUnquoted(text, candidate);
     if (pos != std::string::npos &&
         (op_pos == std::string::npos || pos < op_pos ||
          (pos == op_pos && std::string(candidate).size() > op_token.size()))) {
@@ -260,14 +323,18 @@ Result<DenialConstraint> ParseConstraint(const std::string& text,
                                          const std::string& table,
                                          const Schema& schema) {
   std::string body = Trim(text);
+  if (!QuotesBalanced(body)) {
+    return Status::ParseError("unterminated quote in constraint '" + text +
+                              "'");
+  }
   std::string name;
-  // Optional "name:" prefix — but not the "FD x -> y" keyword itself, and
-  // ':' inside the DC body (unlikely) is not supported.
-  const size_t colon = body.find(':');
+  // Optional "name:" prefix. Only an identifier-shaped prefix before the
+  // first *unquoted* colon counts as a name, so quoted constants containing
+  // ':' parse as part of the body instead of being mis-split.
+  const size_t colon = FindUnquoted(body, ":");
   if (colon != std::string::npos) {
     const std::string maybe_name = Trim(body.substr(0, colon));
-    if (!maybe_name.empty() && maybe_name.find(' ') == std::string::npos &&
-        maybe_name.find('(') == std::string::npos) {
+    if (IsRuleName(maybe_name)) {
       name = maybe_name;
       body = Trim(body.substr(colon + 1));
     }
@@ -288,7 +355,7 @@ Result<DenialConstraint> ParseConstraint(const std::string& text,
 
   std::vector<PredicateAtom> atoms;
   int num_tuples = 1;
-  for (const std::string& part : Split(body, '&')) {
+  for (const std::string& part : SplitUnquoted(body, '&')) {
     const std::string atom_text = Trim(part);
     if (atom_text.empty()) {
       return Status::ParseError("empty atom in constraint '" + text + "'");

@@ -41,54 +41,9 @@ namespace {
 using detail::kInf;
 using detail::RangeFeasible;
 
-// EvalCompare's null branch: null equals only null; inequality comparisons
-// against null never hold.
-inline bool NullCompare(bool lnull, bool rnull, CompareOp op) {
-  switch (op) {
-    case CompareOp::kEq:
-      return lnull && rnull;
-    case CompareOp::kNeq:
-      return lnull != rnull;
-    default:
-      return false;
-  }
-}
-
-inline bool CompareDoubles(double a, CompareOp op, double b) {
-  switch (op) {
-    case CompareOp::kEq:
-      return a == b;
-    case CompareOp::kNeq:
-      return a != b;
-    case CompareOp::kLt:
-      return a < b;
-    case CompareOp::kLeq:
-      return a <= b;
-    case CompareOp::kGt:
-      return a > b;
-    case CompareOp::kGeq:
-      return a >= b;
-  }
-  return false;
-}
-
-inline bool CompareRanks(uint32_t a, CompareOp op, uint32_t b) {
-  switch (op) {
-    case CompareOp::kEq:
-      return a == b;
-    case CompareOp::kNeq:
-      return a != b;
-    case CompareOp::kLt:
-      return a < b;
-    case CompareOp::kLeq:
-      return a <= b;
-    case CompareOp::kGt:
-      return a > b;
-    case CompareOp::kGeq:
-      return a >= b;
-  }
-  return false;
-}
+// NullCompare / CompareDoubles / CompareRanks — the flat-array forms of
+// EvalCompare the compiled atoms evaluate with — live in
+// constraints/predicate.h, shared with the plan layer's compiled filters.
 
 }  // namespace
 

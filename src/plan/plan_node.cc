@@ -1,0 +1,332 @@
+#include "plan/plan_node.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "query/eval.h"
+
+namespace daisy {
+
+void PlanNode::ResetStatsRecursive() {
+  stats_ = NodeStats{};
+  for (const auto& child : children_) child->ResetStatsRecursive();
+}
+
+Result<std::vector<RowId>> RowSetNode::Drain(ExecContext* ctx) {
+  DAISY_RETURN_IF_ERROR(Open(ctx));
+  std::vector<RowId> out;
+  RowIdBatch batch;
+  while (true) {
+    DAISY_ASSIGN_OR_RETURN(bool more, NextBatch(ctx, &batch));
+    if (!more) break;
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ Scan --
+
+ScanNode::ScanNode(const Table* table)
+    : RowSetNode(Kind::kScan), table_(table) {}
+
+std::string ScanNode::Label() const {
+  return "Scan [" + table_->name() + "]";
+}
+
+Status ScanNode::Open(ExecContext* ctx) {
+  pos_ = 0;
+  ctx->rows_scanned += table_->num_rows();
+  return Status::OK();
+}
+
+Result<bool> ScanNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  const size_t n = table_->num_rows();
+  if (pos_ >= n) return false;
+  const size_t count = std::min(ctx->batch_size, n - pos_);
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) out->push_back(pos_ + i);
+  pos_ += count;
+  stats_.rows_out += count;
+  ++stats_.batches;
+  return true;
+}
+
+// ---------------------------------------------------------------- Filter --
+
+FilterNode::FilterNode(const Table* table, const Expr* expr, bool columnar,
+                       std::unique_ptr<PlanNode> child)
+    : RowSetNode(Kind::kFilter),
+      table_(table),
+      expr_(expr),
+      columnar_(columnar) {
+  child_rows_ = static_cast<RowSetNode*>(child.get());
+  children_.push_back(std::move(child));
+}
+
+std::string FilterNode::Label() const {
+  return "Filter [" + table_->name() + ": " + expr_->ToString() + "] " +
+         (columnar_ ? "[columnar]" : "[row-path]");
+}
+
+Status FilterNode::Open(ExecContext* ctx) {
+  DAISY_RETURN_IF_ERROR(child_rows_->Open(ctx));
+  compiled_.reset();
+  if (columnar_) {
+    DAISY_ASSIGN_OR_RETURN(CompiledFilter compiled,
+                           CompiledFilter::Compile(*table_, *expr_));
+    compiled_ = std::make_unique<CompiledFilter>(std::move(compiled));
+  }
+  return Status::OK();
+}
+
+Result<bool> FilterNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  RowIdBatch in;
+  DAISY_ASSIGN_OR_RETURN(bool more, child_rows_->NextBatch(ctx, &in));
+  if (!more) return false;
+  stats_.rows_in += in.size();
+  out->clear();
+  if (compiled_ != nullptr) {
+    for (RowId r : in) {
+      if (compiled_->Matches(r)) out->push_back(r);
+    }
+  } else {
+    for (RowId r : in) {
+      DAISY_ASSIGN_OR_RETURN(bool ok, RowMaySatisfy(*table_, r, *expr_));
+      if (ok) out->push_back(r);
+    }
+  }
+  stats_.rows_out += out->size();
+  ++stats_.batches;
+  return true;
+}
+
+// ----------------------------------------------------------- CleanSelect --
+
+CleanSelectNode::CleanSelectNode(Table* table, const DenialConstraint* dc,
+                                 CleanSelect* op, CostModel* cost,
+                                 const FdRuleStats* rule_stats,
+                                 const Expr* filter, CleaningOptions options,
+                                 bool adaptive,
+                                 std::unique_ptr<PlanNode> child)
+    : RowSetNode(Kind::kCleanSelect),
+      table_(table),
+      dc_(dc),
+      op_(op),
+      cost_(cost),
+      rule_stats_(rule_stats),
+      filter_(filter),
+      options_(options),
+      adaptive_(adaptive) {
+  child_rows_ = static_cast<RowSetNode*>(child.get());
+  children_.push_back(std::move(child));
+}
+
+std::string CleanSelectNode::Label() const {
+  return "CleanSelect [rule=" + dc_->name() + (dc_->IsFd() ? " fd" : " dc") +
+         "]" + (adaptive_ ? " [adaptive]" : "");
+}
+
+Status CleanSelectNode::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows, child_rows_->Drain(ctx));
+  stats_.rows_in = rows.size();
+
+  DAISY_ASSIGN_OR_RETURN(CleanSelectResult cres,
+                         op_->Run(filter_, rows, options_));
+  rows = cres.final_rows;
+
+  CleaningExecStats& cs = ctx->cleaning;
+  ++cs.rules_applied;
+  if (cres.pruned) {
+    ++cs.rules_pruned;
+    stats_.pruned = true;
+  }
+  cs.extra_tuples += cres.extra_tuples;
+  cs.errors_fixed += cres.errors_fixed;
+  cs.tuples_scanned += cres.tuples_scanned;
+  cs.detect_ops += cres.detect_ops;
+  cs.used_dc_full_clean |= cres.used_full_clean;
+  cs.min_estimated_accuracy =
+      std::min(cs.min_estimated_accuracy, cres.estimated_accuracy);
+
+  // Cost-model bookkeeping and the adaptive switch (Section 5.2.3). Pruned
+  // invocations did no relaxation/repair work and accrue no incremental
+  // cost. The planner armed `adaptive_` at construction; the trigger itself
+  // is inherently data-dependent.
+  const double width =
+      rule_stats_ != nullptr ? rule_stats_->avg_candidates : 2.0;
+  if (!cres.pruned) {
+    QueryCostSample sample;
+    sample.dataset_size = table_->num_rows();
+    sample.result_size = rows.size();
+    sample.extra_size = cres.extra_tuples;
+    sample.errors = cres.errors_fixed;
+    sample.detect_ops = cres.detect_ops;
+    sample.candidate_width = width;
+    cost_->RecordQuery(sample);
+  }
+  if (adaptive_ && !op_->fully_checked()) {
+    const size_t epsilon = rule_stats_ != nullptr
+                               ? rule_stats_->num_violating_rows
+                               : table_->num_rows() / 10;
+    const size_t groups = rule_stats_ != nullptr
+                              ? rule_stats_->num_violating_groups
+                              : std::max<size_t>(1, epsilon / 10);
+    if (cost_->ShouldSwitchToFull(table_->num_rows(), groups, epsilon,
+                                  width)) {
+      DAISY_ASSIGN_OR_RETURN(CleanSelectResult fres,
+                             op_->CleanRemaining(options_));
+      cs.switched_to_full = true;
+      stats_.switched_to_full = true;
+      cs.errors_fixed += fres.errors_fixed;
+      // Recompute the qualifying rows over the now-clean table.
+      DAISY_ASSIGN_OR_RETURN(rows,
+                             FilterRows(*table_, filter_, table_->AllRowIds()));
+    }
+  }
+  rows_ = std::move(rows);
+  return Status::OK();
+}
+
+Result<bool> CleanSelectNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  if (pos_ >= rows_.size()) return false;
+  const size_t count = std::min(ctx->batch_size, rows_.size() - pos_);
+  out->assign(rows_.begin() + pos_, rows_.begin() + pos_ + count);
+  pos_ += count;
+  stats_.rows_out += count;
+  ++stats_.batches;
+  return true;
+}
+
+// ------------------------------------------------------------------ Join --
+
+JoinNode::JoinNode(Kind kind, const std::vector<const Table*>* tables,
+                   const std::vector<SplitWhere::JoinPred>* joins,
+                   std::vector<std::unique_ptr<PlanNode>> children)
+    : PlanNode(kind), tables_(tables), joins_(joins) {
+  children_ = std::move(children);
+}
+
+std::string JoinNode::Label() const {
+  std::ostringstream oss;
+  oss << (kind_ == Kind::kCleanJoin ? "CleanJoin [" : "HashJoin [");
+  if (joins_->empty()) {
+    oss << "cartesian";
+  } else {
+    for (size_t i = 0; i < joins_->size(); ++i) {
+      const SplitWhere::JoinPred& p = (*joins_)[i];
+      if (i > 0) oss << ", ";
+      oss << (*tables_)[p.left_table]->name() << "."
+          << (*tables_)[p.left_table]->schema().column(p.left_col).name
+          << " = " << (*tables_)[p.right_table]->name() << "."
+          << (*tables_)[p.right_table]->schema().column(p.right_col).name;
+    }
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Result<std::vector<JoinedRow>> JoinNode::ExecuteJoin(ExecContext* ctx) {
+  std::vector<std::vector<RowId>> qualifying;
+  qualifying.reserve(children_.size());
+  for (const auto& child : children_) {
+    auto* rows_child = static_cast<RowSetNode*>(child.get());
+    DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows, rows_child->Drain(ctx));
+    stats_.rows_in += rows.size();
+    qualifying.push_back(std::move(rows));
+  }
+  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
+                         JoinTables(*tables_, qualifying, *joins_));
+  stats_.rows_out = joined.size();
+  ++stats_.batches;
+  return joined;
+}
+
+// ---------------------------------------------------------------- Output --
+
+OutputNode::OutputNode(Kind kind, const SelectStmt* stmt,
+                       const std::vector<const Table*>* tables,
+                       std::unique_ptr<PlanNode> child)
+    : PlanNode(kind), stmt_(stmt), tables_(tables) {
+  children_.push_back(std::move(child));
+}
+
+std::string OutputNode::Label() const {
+  std::ostringstream oss;
+  oss << (kind_ == Kind::kAggregate ? "Aggregate [select=[" : "Project [");
+  for (size_t i = 0; i < stmt_->select_list.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << stmt_->select_list[i].ToString();
+  }
+  if (kind_ == Kind::kAggregate) {
+    oss << "]";
+    if (!stmt_->group_by.empty()) {
+      oss << " group_by=[";
+      for (size_t i = 0; i < stmt_->group_by.size(); ++i) {
+        if (i > 0) oss << ", ";
+        oss << stmt_->group_by[i].ToString();
+      }
+      oss << "]";
+    }
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Result<QueryOutput> OutputNode::ExecuteOutput(ExecContext* ctx) {
+  std::vector<JoinedRow> joined;
+  PlanNode* child = children_[0].get();
+  if (child->kind() == Kind::kHashJoin || child->kind() == Kind::kCleanJoin) {
+    DAISY_ASSIGN_OR_RETURN(joined,
+                           static_cast<JoinNode*>(child)->ExecuteJoin(ctx));
+  } else {
+    DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                           static_cast<RowSetNode*>(child)->Drain(ctx));
+    joined.reserve(rows.size());
+    for (RowId r : rows) joined.push_back(JoinedRow{r});
+  }
+  stats_.rows_in = joined.size();
+  DAISY_ASSIGN_OR_RETURN(
+      QueryOutput out,
+      QueryExecutor::BuildOutput(*stmt_, *tables_, std::move(joined)));
+  stats_.rows_out = out.result.num_rows();
+  ++stats_.batches;
+  return out;
+}
+
+// --------------------------------------------------------------- Explain --
+
+namespace {
+
+void RenderNode(const PlanNode& node, size_t depth, bool executed,
+                std::ostringstream* oss) {
+  if (node.HiddenInExplain()) {
+    for (const auto& child : node.children()) {
+      RenderNode(*child, depth, executed, oss);
+    }
+    return;
+  }
+  for (size_t i = 0; i < depth; ++i) *oss << "  ";
+  *oss << node.Label();
+  if (executed) {
+    *oss << " rows=" << node.stats().rows_out;
+    if (node.stats().pruned) *oss << " pruned";
+    if (node.stats().switched_to_full) *oss << " switched-to-full";
+  }
+  *oss << "\n";
+  for (const auto& child : node.children()) {
+    RenderNode(*child, depth + 1, executed, oss);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlanTree(const PlanNode& root, bool executed) {
+  std::ostringstream oss;
+  RenderNode(root, 0, executed, &oss);
+  return oss.str();
+}
+
+}  // namespace daisy

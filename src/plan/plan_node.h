@@ -1,0 +1,230 @@
+// The physical operator tree (Section 6: cleaning operators are query-plan
+// operators).
+//
+// A plan is a tree of PlanNodes. Single-table subtrees — Scan, Filter,
+// CleanSelect (cleanσ) — pull *row-id batches* through a Volcano-style
+// Open/NextBatch protocol instead of materializing full row vectors at
+// every step; pipeline breakers (CleanSelect must see the whole qualifying
+// set to relax it, HashJoin must see complete sides) drain their child and
+// re-emit batches. HashJoin (clean⋈ in a cleaning-augmented plan), Project
+// and Aggregate sit above the per-table chains.
+//
+// Every node records cardinality counters during execution; Explain
+// renderers read them to annotate the plan text.
+
+#ifndef DAISY_PLAN_PLAN_NODE_H_
+#define DAISY_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clean/clean_operators.h"
+#include "clean/cost_model.h"
+#include "clean/statistics.h"
+#include "plan/compiled_filter.h"
+#include "query/ast.h"
+#include "query/executor.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+/// One unit of row flow between single-table operators.
+using RowIdBatch = std::vector<RowId>;
+
+/// Cleaning counters accumulated across the CleanSelect nodes of one
+/// execution (DaisyEngine::Query copies them into its QueryReport).
+struct CleaningExecStats {
+  size_t extra_tuples = 0;
+  size_t errors_fixed = 0;
+  size_t tuples_scanned = 0;
+  size_t detect_ops = 0;
+  size_t rules_applied = 0;
+  size_t rules_pruned = 0;
+  bool switched_to_full = false;
+  bool used_dc_full_clean = false;
+  double min_estimated_accuracy = 1.0;
+};
+
+/// Per-execution state threaded through the operator tree.
+struct ExecContext {
+  size_t batch_size = 1024;
+  size_t rows_scanned = 0;  ///< Σ base-table rows opened by Scan nodes
+  CleaningExecStats cleaning;
+};
+
+/// Base of every physical operator.
+class PlanNode {
+ public:
+  enum class Kind {
+    kScan,
+    kFilter,
+    kCleanSelect,
+    kHashJoin,
+    kCleanJoin,
+    kProject,
+    kAggregate,
+  };
+
+  /// Cardinality/cost counters filled in during execution.
+  struct NodeStats {
+    size_t rows_in = 0;
+    size_t rows_out = 0;
+    size_t batches = 0;
+    bool pruned = false;            ///< CleanSelect skipped cleaning
+    bool switched_to_full = false;  ///< cost model fired at this node
+  };
+
+  explicit PlanNode(Kind kind) : kind_(kind) {}
+  virtual ~PlanNode() = default;
+
+  Kind kind() const { return kind_; }
+  const std::vector<std::unique_ptr<PlanNode>>& children() const {
+    return children_;
+  }
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+  /// Static description, e.g. "Filter [emp: salary > 100] [columnar]".
+  virtual std::string Label() const = 0;
+
+  /// Nodes the plan text omits (children are rendered in their place).
+  virtual bool HiddenInExplain() const { return false; }
+
+  /// Resets the counters of this subtree before a (re-)execution.
+  void ResetStatsRecursive();
+
+ protected:
+  Kind kind_;
+  std::vector<std::unique_ptr<PlanNode>> children_;
+  NodeStats stats_;
+};
+
+/// A single-table operator producing row-id batches.
+class RowSetNode : public PlanNode {
+ public:
+  using PlanNode::PlanNode;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Fills `out` with the next batch. Returns false at end of stream; a
+  /// returned batch may be empty (a fully filtered input batch).
+  virtual Result<bool> NextBatch(ExecContext* ctx, RowIdBatch* out) = 0;
+
+  /// Open + pull-to-end convenience for pipeline breakers.
+  Result<std::vector<RowId>> Drain(ExecContext* ctx);
+};
+
+/// Full-table scan emitting row ids in batches.
+class ScanNode : public RowSetNode {
+ public:
+  explicit ScanNode(const Table* table);
+
+  std::string Label() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowIdBatch* out) override;
+
+ private:
+  const Table* table_;
+  RowId pos_ = 0;
+};
+
+/// Predicate filter over its child's batches. Compiles the expression
+/// against the table's ColumnCache typed arrays when `columnar` is on; the
+/// row-path evaluator is kept as an ablation fallback (mirroring
+/// ThetaJoinDetector::set_columnar_enabled).
+class FilterNode : public RowSetNode {
+ public:
+  FilterNode(const Table* table, const Expr* expr, bool columnar,
+             std::unique_ptr<PlanNode> child);
+
+  std::string Label() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowIdBatch* out) override;
+
+ private:
+  const Table* table_;
+  const Expr* expr_;  ///< owned by the Plan (SplitWhere)
+  bool columnar_;
+  std::unique_ptr<CompiledFilter> compiled_;  ///< rebuilt per execution
+  RowSetNode* child_rows_;
+};
+
+/// cleanσ as a plan operator: drains the child's qualifying rows, runs the
+/// persistent CleanSelect operator (relax → detect → repair → update),
+/// applies the cost-model bookkeeping and — when armed — the adaptive
+/// switch to full cleaning, then re-emits the corrected row set in batches.
+class CleanSelectNode : public RowSetNode {
+ public:
+  CleanSelectNode(Table* table, const DenialConstraint* dc, CleanSelect* op,
+                  CostModel* cost, const FdRuleStats* rule_stats,
+                  const Expr* filter, CleaningOptions options, bool adaptive,
+                  std::unique_ptr<PlanNode> child);
+
+  std::string Label() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowIdBatch* out) override;
+
+  /// Plan-time statistics pruning: the rule's precomputed statistics show
+  /// zero violating rows, so this node's runtime fast path can never do
+  /// repair work. Execution is unchanged (the operator still runs its
+  /// prune-and-mark bookkeeping exactly like the pre-plan engine loop);
+  /// the node is only dropped from the rendered plan.
+  void set_statically_pruned(bool v) { statically_pruned_ = v; }
+  bool HiddenInExplain() const override { return statically_pruned_; }
+
+ private:
+  Table* table_;
+  const DenialConstraint* dc_;
+  CleanSelect* op_;
+  CostModel* cost_;
+  const FdRuleStats* rule_stats_;
+  const Expr* filter_;  ///< the table's predicate; nullable
+  CleaningOptions options_;
+  bool adaptive_;
+  bool statically_pruned_ = false;
+  RowSetNode* child_rows_;
+  std::vector<RowId> rows_;
+  size_t pos_ = 0;
+};
+
+/// Left-deep hash equi-join over the per-table chains (kCleanJoin labels
+/// the same runtime when the sides were cleaned — Lemma 5: no further
+/// violation checks are needed over clean inputs).
+class JoinNode : public PlanNode {
+ public:
+  JoinNode(Kind kind, const std::vector<const Table*>* tables,
+           const std::vector<SplitWhere::JoinPred>* joins,
+           std::vector<std::unique_ptr<PlanNode>> children);
+
+  std::string Label() const override;
+  Result<std::vector<JoinedRow>> ExecuteJoin(ExecContext* ctx);
+
+ private:
+  const std::vector<const Table*>* tables_;
+  const std::vector<SplitWhere::JoinPred>* joins_;
+};
+
+/// Plan root: projection or grouped aggregation into a QueryOutput. Wraps
+/// the shared output builder so the oblivious and cleaning-augmented plans
+/// materialize results identically.
+class OutputNode : public PlanNode {
+ public:
+  OutputNode(Kind kind, const SelectStmt* stmt,
+             const std::vector<const Table*>* tables,
+             std::unique_ptr<PlanNode> child);
+
+  std::string Label() const override;
+  Result<QueryOutput> ExecuteOutput(ExecContext* ctx);
+
+ private:
+  const SelectStmt* stmt_;
+  const std::vector<const Table*>* tables_;
+};
+
+/// Renders `root` as a deterministic indented tree. When `executed` is
+/// true, per-node cardinality counters and runtime flags are appended.
+std::string RenderPlanTree(const PlanNode& root, bool executed);
+
+}  // namespace daisy
+
+#endif  // DAISY_PLAN_PLAN_NODE_H_

@@ -1,0 +1,151 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+#include "query/eval.h"
+
+namespace daisy {
+
+SelectStmt CloneStmt(const SelectStmt& stmt) {
+  SelectStmt out;
+  out.select_list = stmt.select_list;
+  out.tables = stmt.tables;
+  out.group_by = stmt.group_by;
+  if (stmt.where != nullptr) out.where = CloneExpr(*stmt.where);
+  return out;
+}
+
+namespace {
+
+// The attributes of `table` the query touches (select list, WHERE leaves,
+// join keys, group-by) — the P∪W set the rule-overlap check runs against.
+std::vector<size_t> QueryColumnsForTable(const SelectStmt& stmt,
+                                         const Table& table,
+                                         const SplitWhere& split,
+                                         size_t table_idx) {
+  std::vector<size_t> cols;
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.star) {
+      for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+        cols.push_back(c);
+      }
+      continue;
+    }
+    if (!item.col.table.empty() && item.col.table != table.name()) continue;
+    auto idx = table.schema().ColumnIndex(item.col.column);
+    if (idx.ok()) cols.push_back(idx.value());
+  }
+  if (stmt.where != nullptr) CollectExprColumns(*stmt.where, table, &cols);
+  for (const SplitWhere::JoinPred& p : split.joins) {
+    if (p.left_table == table_idx) cols.push_back(p.left_col);
+    if (p.right_table == table_idx) cols.push_back(p.right_col);
+  }
+  for (const ColumnRef& ref : stmt.group_by) {
+    if (!ref.table.empty() && ref.table != table.name()) continue;
+    auto idx = table.schema().ColumnIndex(ref.column);
+    if (idx.ok()) cols.push_back(idx.value());
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+}  // namespace
+
+Result<QueryOutput> Plan::Execute() {
+  ExecContext ctx;
+  ctx.batch_size = batch_size_;
+  root_->ResetStatsRecursive();
+  auto* output = static_cast<OutputNode*>(root_.get());
+  DAISY_ASSIGN_OR_RETURN(QueryOutput out, output->ExecuteOutput(&ctx));
+  out.rows_scanned = ctx.rows_scanned;
+  cleaning_ = ctx.cleaning;
+  executed_ = true;
+  return out;
+}
+
+std::string Plan::Explain() const { return RenderPlanTree(*root_, executed_); }
+
+Result<Plan> Planner::PlanQuery(const SelectStmt& stmt) {
+  return PlanQuery(stmt, nullptr);
+}
+
+Result<Plan> Planner::PlanQuery(const SelectStmt& stmt,
+                                const CleaningPlanContext* clean) {
+  auto state = std::make_unique<Plan::State>();
+  state->stmt = CloneStmt(stmt);
+  for (const std::string& name : state->stmt.tables) {
+    DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(name));
+    state->tables.push_back(t);
+    state->const_tables.push_back(t);
+  }
+  if (state->tables.empty()) {
+    return Status::InvalidArgument("no FROM tables");
+  }
+  DAISY_ASSIGN_OR_RETURN(state->split,
+                         SplitWhereClause(state->stmt, state->const_tables));
+
+  // Per-table chain: Scan → Filter → cleanσ per overlapping rule.
+  std::vector<std::unique_ptr<PlanNode>> chains;
+  chains.reserve(state->tables.size());
+  for (size_t i = 0; i < state->tables.size(); ++i) {
+    Table* table = state->tables[i];
+    const Expr* filter = state->split.table_filters[i].get();
+    std::unique_ptr<PlanNode> node = std::make_unique<ScanNode>(table);
+    if (filter != nullptr) {
+      node = std::make_unique<FilterNode>(table, filter, columnar_filters_,
+                                          std::move(node));
+    }
+    if (clean != nullptr) {
+      const std::vector<size_t> query_cols =
+          QueryColumnsForTable(state->stmt, *table, state->split, i);
+      const std::vector<const DenialConstraint*> overlapping =
+          clean->constraints->Overlapping(table->name(), query_cols);
+      for (const DenialConstraint* dc : overlapping) {
+        auto it = clean->rules.find(dc->name());
+        if (it == clean->rules.end()) {
+          return Status::Internal("no operator state for rule '" + dc->name() +
+                                  "'");
+        }
+        const CleaningRuleBinding& binding = it->second;
+        const FdRuleStats* rstats =
+            clean->statistics != nullptr
+                ? clean->statistics->ForRule(dc->name())
+                : nullptr;
+        auto clean_node = std::make_unique<CleanSelectNode>(
+            binding.table, dc, binding.op, binding.cost, rstats, filter,
+            clean->options, clean->adaptive, std::move(node));
+        if (clean->options.use_statistics_pruning && rstats != nullptr &&
+            rstats->num_violating_rows == 0) {
+          // The statistics prove the table clean for this rule: the node's
+          // runtime fast path can never do repair work, so the rendered
+          // plan drops it. Execution keeps the per-query prune-and-mark
+          // bookkeeping of the pre-plan engine loop.
+          clean_node->set_statically_pruned(true);
+        }
+        node = std::move(clean_node);
+      }
+    }
+    chains.push_back(std::move(node));
+  }
+
+  std::unique_ptr<PlanNode> child;
+  if (chains.size() == 1) {
+    child = std::move(chains[0]);
+  } else {
+    child = std::make_unique<JoinNode>(
+        clean != nullptr ? PlanNode::Kind::kCleanJoin
+                         : PlanNode::Kind::kHashJoin,
+        &state->const_tables, &state->split.joins, std::move(chains));
+  }
+  const bool aggregating =
+      state->stmt.has_aggregate() || !state->stmt.group_by.empty();
+  Plan plan;
+  plan.root_ = std::make_unique<OutputNode>(
+      aggregating ? PlanNode::Kind::kAggregate : PlanNode::Kind::kProject,
+      &state->stmt, &state->const_tables, std::move(child));
+  plan.state_ = std::move(state);
+  return plan;
+}
+
+}  // namespace daisy

@@ -1,0 +1,127 @@
+// Lowers a parsed SelectStmt into a physical PlanNode tree.
+//
+// The Planner is the single place where the SPJ pipeline is assembled:
+// QueryExecutor::Execute lowers a cleaning-oblivious plan, DaisyEngine::
+// Query passes a CleaningPlanContext and gets the cleaning-augmented plan
+// of Section 6 — cleanσ nodes injected above each table's filter for every
+// rule whose attributes overlap the query's, clean⋈ over the cleaned
+// sides. Plan-construction decisions:
+//
+//  * rule overlap ((X∪Y) ∩ (P∪W) ≠ ∅) decides which rules get a
+//    CleanSelect node at all;
+//  * statistics pruning drops the node entirely when the rule's
+//    precomputed statistics prove the table clean for that rule (zero
+//    violating rows) — the per-query dirty-group check stays inside the
+//    operator since it depends on the qualifying rows;
+//  * the cost-model full-clean switch is armed on the node when the engine
+//    runs in adaptive mode (the trigger itself is data-dependent).
+
+#ifndef DAISY_PLAN_PLANNER_H_
+#define DAISY_PLAN_PLANNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clean/statistics.h"
+#include "constraints/constraint_set.h"
+#include "plan/plan_node.h"
+#include "query/ast.h"
+#include "query/executor.h"
+#include "storage/database.h"
+
+namespace daisy {
+
+/// Deep copy of a parsed statement (the WHERE tree is owning).
+SelectStmt CloneStmt(const SelectStmt& stmt);
+
+/// Per-rule operator state the engine hands to the planner. All pointers
+/// must outlive the produced plan.
+struct CleaningRuleBinding {
+  const DenialConstraint* dc = nullptr;
+  Table* table = nullptr;
+  CleanSelect* op = nullptr;
+  CostModel* cost = nullptr;
+};
+
+/// Cleaning side-inputs for plan construction.
+struct CleaningPlanContext {
+  const ConstraintSet* constraints = nullptr;
+  const Statistics* statistics = nullptr;
+  CleaningOptions options;
+  bool adaptive = false;  ///< arm the cost-model switch on cleanσ nodes
+  std::map<std::string, CleaningRuleBinding> rules;  ///< by rule name
+};
+
+/// An executable physical plan. Movable; the operator tree points into
+/// heap-stable shared state, so moving the Plan is safe.
+class Plan {
+ public:
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+
+  /// Runs the plan, materializing the output and filling per-node
+  /// counters. May be executed repeatedly (counters reset each run);
+  /// cleaning plans mutate the underlying tables as a side effect.
+  Result<QueryOutput> Execute();
+
+  /// Deterministic indented plan tree. After Execute(), per-node
+  /// cardinality counters and runtime flags are included.
+  std::string Explain() const;
+
+  /// Cleaning counters of the last Execute() (zeroes for oblivious plans).
+  const CleaningExecStats& cleaning_stats() const { return cleaning_; }
+
+  bool executed() const { return executed_; }
+  PlanNode* root() { return root_.get(); }
+
+  /// Row-id batch granularity of the Scan/Filter pipeline.
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+ private:
+  friend class Planner;
+
+  /// Bound inputs the operator tree points into; heap-allocated so the
+  /// Plan object itself can move.
+  struct State {
+    SelectStmt stmt;
+    std::vector<Table*> tables;
+    std::vector<const Table*> const_tables;
+    SplitWhere split;
+  };
+
+  Plan() = default;
+
+  std::unique_ptr<State> state_;
+  std::unique_ptr<PlanNode> root_;
+  CleaningExecStats cleaning_;
+  bool executed_ = false;
+  size_t batch_size_ = 1024;
+};
+
+/// Stateless plan builder over a database catalog.
+class Planner {
+ public:
+  explicit Planner(Database* db) : db_(db) {}
+
+  /// Cleaning-oblivious plan (plain SPJ + group-by).
+  Result<Plan> PlanQuery(const SelectStmt& stmt);
+
+  /// Cleaning-augmented plan; `clean` may be null (same as the overload
+  /// above) and must outlive the plan otherwise.
+  Result<Plan> PlanQuery(const SelectStmt& stmt,
+                         const CleaningPlanContext* clean);
+
+  /// Ablation switch: compile Filter predicates against the ColumnCache
+  /// (default) or keep the row-at-a-time evaluator.
+  void set_columnar_filters(bool enabled) { columnar_filters_ = enabled; }
+
+ private:
+  Database* db_;
+  bool columnar_filters_ = true;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_PLAN_PLANNER_H_

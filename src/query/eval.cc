@@ -158,6 +158,28 @@ Result<std::vector<RowId>> FilterRows(const Table& table, const Expr* expr,
   return out;
 }
 
+void CollectExprColumns(const Expr& expr, const Table& table,
+                        std::vector<size_t>* cols) {
+  switch (expr.kind) {
+    case Expr::Kind::kCmp: {
+      auto add = [&](const ColumnRef& ref) {
+        if (!ref.table.empty() && ref.table != table.name()) return;
+        auto idx = table.schema().ColumnIndex(ref.column);
+        if (idx.ok()) cols->push_back(idx.value());
+      };
+      add(expr.left);
+      if (expr.right_is_column) add(expr.right_col);
+      break;
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      for (const auto& child : expr.children) {
+        CollectExprColumns(*child, table, cols);
+      }
+      break;
+  }
+}
+
 std::vector<const Expr*> SplitConjuncts(const Expr* expr) {
   std::vector<const Expr*> out;
   if (expr == nullptr) return out;

@@ -38,6 +38,13 @@ Result<std::vector<RowId>> FilterRows(const Table& table, const Expr* expr,
 /// Flattens top-level ANDs of a WHERE tree into conjuncts.
 std::vector<const Expr*> SplitConjuncts(const Expr* expr);
 
+/// Appends the indices of `table`'s columns referenced by `expr` leaves
+/// (unqualified or qualified with the table's name; unresolvable leaves are
+/// skipped). Shared by rule-overlap planning and filter compilation so the
+/// two can never disagree on which columns a predicate touches.
+void CollectExprColumns(const Expr& expr, const Table& table,
+                        std::vector<size_t>* cols);
+
 /// True if every column leaf of `expr` resolves against `table_name` /
 /// `schema` (unqualified columns match if the schema has them).
 bool ExprRefersOnlyTo(const Expr& expr, const std::string& table_name,

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "detect/group_by.h"
+#include "plan/planner.h"
 #include "query/parser.h"
 
 namespace daisy {
@@ -441,37 +442,21 @@ Result<QueryOutput> QueryExecutor::BuildOutput(
 }
 
 Result<QueryOutput> QueryExecutor::Execute(const SelectStmt& stmt) {
-  std::vector<const Table*> tables;
-  for (const std::string& name : stmt.tables) {
-    DAISY_ASSIGN_OR_RETURN(const Table* t,
-                           static_cast<const Database*>(db_)->GetTable(name));
-    tables.push_back(t);
-  }
-  if (tables.empty()) return Status::InvalidArgument("no FROM tables");
-  DAISY_ASSIGN_OR_RETURN(SplitWhere split, SplitWhereClause(stmt, tables));
-
-  size_t scanned = 0;
-  std::vector<std::vector<RowId>> qualifying;
-  qualifying.reserve(tables.size());
-  for (size_t i = 0; i < tables.size(); ++i) {
-    scanned += tables[i]->num_rows();
-    DAISY_ASSIGN_OR_RETURN(
-        std::vector<RowId> rows,
-        FilterRows(*tables[i], split.table_filters[i].get(),
-                   tables[i]->AllRowIds()));
-    qualifying.push_back(std::move(rows));
-  }
-  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
-                         JoinTables(tables, qualifying, split.joins));
-  DAISY_ASSIGN_OR_RETURN(QueryOutput out,
-                         BuildOutput(stmt, tables, std::move(joined)));
-  out.rows_scanned = scanned;
-  return out;
+  Planner planner(db_);
+  DAISY_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(stmt));
+  return plan.Execute();
 }
 
 Result<QueryOutput> QueryExecutor::Execute(const std::string& sql) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
   return Execute(stmt);
+}
+
+Result<std::string> QueryExecutor::Explain(const std::string& sql) {
+  DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  Planner planner(db_);
+  DAISY_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(stmt));
+  return plan.Explain();
 }
 
 }  // namespace daisy

@@ -1,7 +1,11 @@
 // Plain (cleaning-oblivious) execution of SPJ + group-by statements over a
-// Database. The Daisy engine reuses the same building blocks but interleaves
-// cleaning operators between filter and join stages; the offline baseline
-// runs this executor directly over the pre-cleaned dataset.
+// Database. Execute() lowers the statement through the shared Planner into
+// a PlanNode tree (see plan/planner.h); the Daisy engine lowers the same
+// statements with cleaning operators interleaved between filter and join
+// stages, so the two paths share one runtime. The WHERE-splitting, join and
+// output-building helpers declared here are the runtime building blocks the
+// plan nodes call; the offline baseline runs this executor directly over
+// the pre-cleaned dataset.
 
 #ifndef DAISY_QUERY_EXECUTOR_H_
 #define DAISY_QUERY_EXECUTOR_H_
@@ -64,6 +68,10 @@ class QueryExecutor {
 
   Result<QueryOutput> Execute(const SelectStmt& stmt);
   Result<QueryOutput> Execute(const std::string& sql);
+
+  /// Deterministic text rendering of the cleaning-oblivious plan for `sql`
+  /// (not executed: no cardinality counters).
+  Result<std::string> Explain(const std::string& sql);
 
   /// Builds the projected / aggregated output from joined rows. Exposed so
   /// the cleaning engine can finish a query after its own SPJ phase.

@@ -38,11 +38,14 @@ void ColumnCache::Rebuild(size_t c) {
   fresh.num.reserve(n);
   fresh.codes.reserve(n);
   fresh.nulls.reserve(n);
+  fresh.probs.reserve(n);
 
   std::unordered_map<Value, uint32_t, ValueHash> dict_index;
   dict_index.reserve(n);
   for (RowId r = 0; r < n; ++r) {
-    const Value& v = table_->cell(r, c).original();
+    const Cell& cell = table_->cell(r, c);
+    const Value& v = cell.original();
+    fresh.probs.push_back(cell.is_probabilistic() ? 1 : 0);
     fresh.nulls.push_back(v.is_null() ? 1 : 0);
     if (v.is_null()) fresh.has_nulls = true;
     if (!v.is_null() && !v.is_numeric()) fresh.numeric_only = false;
@@ -94,6 +97,11 @@ void ColumnCache::Rebuild(size_t c) {
   slot.col = std::move(fresh);
   slot.built = true;
   slot.built_version = table_->column_version(c);
+}
+
+size_t ColumnCache::EnsureBuilt(const std::vector<size_t>& cols) {
+  for (size_t c : cols) (void)column(c);
+  return table_->num_rows();
 }
 
 const ColumnCache::Column& ColumnCache::column(size_t c) {

@@ -58,6 +58,12 @@ class ColumnCache {
     std::vector<uint32_t> codes;    ///< row-ordered dictionary codes
     std::vector<uint32_t> ranks;    ///< row-ordered dense Compare ranks
     std::vector<uint8_t> nulls;     ///< row-ordered null mask (1 = null)
+    /// Cells carrying repair candidates (1 = probabilistic). Consumers that
+    /// answer from the projected originals must fall back to per-cell
+    /// evaluation for these rows. Deliberately excluded from the content
+    /// comparison: attaching candidates refreshes this mask on rebuild but
+    /// does not advance `generation`.
+    std::vector<uint8_t> probs;
     std::vector<Value> dict;        ///< code -> first-seen value
     std::vector<Value> sorted_distinct;  ///< rank -> representative value
     std::vector<RowId> sorted_rows;      ///< rows by (num, row id)
@@ -78,6 +84,12 @@ class ColumnCache {
 
   /// Content generation of column `c` (ensures freshness first).
   uint64_t generation(size_t c) { return column(c).generation; }
+
+  /// Batch-scan entry point: (re)builds the projections of every column in
+  /// `cols` in one call and returns the table's row count. Plan operators
+  /// call this once at Open so the per-batch hot loop reads fresh arrays
+  /// without rebuild checks interleaved with evaluation.
+  size_t EnsureBuilt(const std::vector<size_t>& cols);
 
   /// Process-unique identity of this cache instance. A consumer holding
   /// array pointers must treat a different id as a wholesale data change

@@ -147,6 +147,52 @@ TEST(ConstraintParserTest, Errors) {
       ParseConstraint("!(t1.unknown == t2.unknown)", "t", CitySchema()).ok());
 }
 
+TEST(ConstraintParserTest, QuotedConstantWithColonKeepsBody) {
+  // A ':' inside a quoted constant is not a name separator. Without a name
+  // prefix the pre-fix parser mis-split at the quoted colon.
+  auto unnamed =
+      ParseConstraint("!(t1.city=='a:b')", "c", CitySchema()).ValueOrDie();
+  EXPECT_EQ(unnamed.name(), "dc_c");
+  ASSERT_EQ(unnamed.atoms().size(), 1u);
+  EXPECT_EQ(unnamed.atoms()[0].constant, Value("a:b"));
+
+  auto named = ParseConstraint("phi: !(t1.city == 'a:b')", "c", CitySchema())
+                   .ValueOrDie();
+  EXPECT_EQ(named.name(), "phi");
+  ASSERT_EQ(named.atoms().size(), 1u);
+  EXPECT_EQ(named.atoms()[0].constant, Value("a:b"));
+}
+
+TEST(ConstraintParserTest, QuotedConstantWithAmpersandAndOperator) {
+  // '&' inside a quoted constant is not an atom separator and operator
+  // characters inside quotes are not the comparison operator.
+  auto dc = ParseConstraint("psi: !(t1.city == 'x&y' & t1.zip > 1)", "c",
+                            CitySchema())
+                .ValueOrDie();
+  EXPECT_EQ(dc.name(), "psi");
+  ASSERT_EQ(dc.atoms().size(), 2u);
+  EXPECT_EQ(dc.atoms()[0].constant, Value("x&y"));
+  EXPECT_EQ(dc.atoms()[1].op, CompareOp::kGt);
+
+  auto flipped =
+      ParseConstraint("w: !('<x' == t1.city)", "c", CitySchema()).ValueOrDie();
+  ASSERT_EQ(flipped.atoms().size(), 1u);
+  EXPECT_EQ(flipped.atoms()[0].op, CompareOp::kEq);
+  EXPECT_EQ(flipped.atoms()[0].constant, Value("<x"));
+}
+
+TEST(ConstraintParserTest, UnterminatedQuoteIsParseError) {
+  auto result = ParseConstraint("!(t1.city == 'a:b)", "c", CitySchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ConstraintParserTest, NonIdentifierColonPrefixIsNotAName) {
+  // "t1.zip" before an (unquoted) colon is not an identifier, so the text
+  // is rejected as a malformed body rather than silently renamed.
+  EXPECT_FALSE(ParseConstraint("t1.zip: == 1", "t", CitySchema()).ok());
+}
+
 // ----------------------------------------------------------- Evaluation --
 
 TEST(DenialConstraintTest, FdViolationPairs) {
