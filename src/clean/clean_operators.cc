@@ -19,6 +19,12 @@ CleanSelect::CleanSelect(Table* table, const DenialConstraint* dc,
       stats_(stats),
       theta_(theta) {
   checked_.assign(table_->num_rows(), false);
+  for (RowId r = 0; r < checked_.size(); ++r) {
+    if (!table_->is_live(r)) {
+      checked_[r] = true;
+      ++checked_count_;
+    }
+  }
 }
 
 void CleanSelect::MarkChecked(const std::vector<RowId>& rows) {
@@ -28,6 +34,93 @@ void CleanSelect::MarkChecked(const std::vector<RowId>& rows) {
       ++checked_count_;
     }
   }
+}
+
+void CleanSelect::SyncRowCount() {
+  if (checked_.size() < table_->num_rows()) {
+    checked_.resize(table_->num_rows(), false);
+  }
+}
+
+void CleanSelect::ApplyDelta(const TableDelta& delta,
+                             const std::vector<RowId>& stale_rows) {
+  SyncRowCount();
+  for (RowId r : delta.deleted) {
+    if (r < checked_.size() && !checked_[r]) {
+      checked_[r] = true;  // a tombstone needs no cleaning
+      ++checked_count_;
+    }
+    // A pending arrival deleted before any query settled it is nothing.
+    auto pending = std::find(pending_rows_.begin(), pending_rows_.end(), r);
+    if (pending != pending_rows_.end()) pending_rows_.erase(pending);
+  }
+  for (RowId r : stale_rows) {
+    // Earlier fixes of these rows may be incomplete against the new data
+    // (e.g. an appended conflict for an already-repaired tuple): uncover
+    // them so the next touching query re-runs relax -> detect -> repair.
+    if (r < checked_.size() && checked_[r] && table_->is_live(r)) {
+      checked_[r] = false;
+      --checked_count_;
+    }
+  }
+  for (RowId r : delta.appended) {
+    if (table_->is_live(r)) pending_rows_.push_back(r);
+  }
+  if (dc_->IsFd()) {
+    if (relax_index_ != nullptr) {
+      relax_index_->ApplyDelta(*table_, dc_->fd(), delta);
+    }
+  } else if (!delta.empty()) {
+    pending_deltas_.push_back(delta);
+  }
+}
+
+Status CleanSelect::DrainPendingDeltas(CleanSelectResult* out,
+                                       std::vector<ViolationPair>* drained) {
+  for (const TableDelta& delta : pending_deltas_) {
+    std::vector<ViolationPair> violations = theta_->DetectDelta(delta);
+    out->detect_ops += theta_->pairs_checked();
+    DAISY_ASSIGN_OR_RETURN(
+        RepairStats stats,
+        RepairDcViolations(table_, *dc_, violations, provenance_));
+    out->errors_fixed += stats.tuples_repaired;
+    drained->insert(drained->end(), violations.begin(), violations.end());
+    // DetectDelta cross-checked the batch against everything: the rows are
+    // as covered as a query result after DetectIncremental.
+    std::vector<RowId> covered;
+    covered.reserve(delta.appended.size());
+    for (RowId r : delta.appended) {
+      if (table_->is_live(r)) covered.push_back(r);
+    }
+    MarkChecked(covered);
+  }
+  pending_deltas_.clear();
+  out->delta_rows_checked += pending_rows_.size();
+  pending_rows_.clear();
+  return Status::OK();
+}
+
+Status CleanSelect::JoinConflictExtras(
+    const Expr* filter, const std::vector<ViolationPair>& violations,
+    CleanSelectResult* out) {
+  if (violations.empty()) return Status::OK();
+  std::unordered_set<RowId> in_result(out->final_rows.begin(),
+                                      out->final_rows.end());
+  std::vector<RowId> outside;
+  for (const ViolationPair& v : violations) {
+    if (in_result.insert(v.t1).second) outside.push_back(v.t1);
+    if (in_result.insert(v.t2).second) outside.push_back(v.t2);
+  }
+  out->extra_tuples += outside.size();
+  DAISY_ASSIGN_OR_RETURN(std::vector<RowId> qualifying_extras,
+                         FilterRows(*table_, filter, outside));
+  out->final_rows.insert(out->final_rows.end(), qualifying_extras.begin(),
+                         qualifying_extras.end());
+  std::sort(out->final_rows.begin(), out->final_rows.end());
+  out->final_rows.erase(
+      std::unique(out->final_rows.begin(), out->final_rows.end()),
+      out->final_rows.end());
+  return Status::OK();
 }
 
 double CleanSelect::checked_fraction() const {
@@ -40,6 +133,7 @@ double CleanSelect::checked_fraction() const {
 Result<CleanSelectResult> CleanSelect::Run(
     const Expr* filter, const std::vector<RowId>& dirty_result,
     const CleaningOptions& options) {
+  SyncRowCount();
   if (dc_->IsFd()) return RunFd(filter, dirty_result, options);
   return RunDc(filter, dirty_result, options);
 }
@@ -49,6 +143,10 @@ Result<CleanSelectResult> CleanSelect::RunFd(
     const CleaningOptions& options) {
   CleanSelectResult out;
   out.final_rows = dirty_result;
+  // The group statistics were delta-maintained at ingest; this query is the
+  // first to consult them, which settles the pending delta accounting.
+  out.delta_rows_checked = pending_rows_.size();
+  pending_rows_.clear();
 
   // Fast path 1: the whole result was already checked by this rule — its
   // cells are final (Lemma 1) and the probabilistic filter semantics of the
@@ -127,47 +225,42 @@ Result<CleanSelectResult> CleanSelect::RunDc(
   out.final_rows = dirty_result;
   theta_->set_pruning_enabled(options.theta_pruning);
 
+  // Pay for the ingested rows first: new x old + new x new pairs, at
+  // O(delta) instead of the full matrix. The drained violations feed the
+  // same extra-tuples join as query-detected ones — a conflicting arrival
+  // whose repair now satisfies the filter belongs to THIS query's result,
+  // not the next one's.
+  std::vector<ViolationPair> violations;
+  DAISY_RETURN_IF_ERROR(DrainPendingDeltas(&out, &violations));
+
   if (theta_->FullyChecked()) {
-    out.pruned = true;
+    // "Pruned" means this invocation skipped cleaning entirely — a drain
+    // that settled ingested rows did real detection/repair work.
+    out.pruned = out.delta_rows_checked == 0;
+    DAISY_RETURN_IF_ERROR(JoinConflictExtras(filter, violations, &out));
     return out;
   }
 
   out.estimated_accuracy = theta_->EstimateAccuracy(dirty_result);
-  std::vector<ViolationPair> violations;
+  std::vector<ViolationPair> detected;
   if (out.estimated_accuracy < options.accuracy_threshold) {
     // Algorithm 2: predicted accuracy below threshold — clean everything.
-    violations = theta_->DetectAll();
+    detected = theta_->DetectAll();
     out.used_full_clean = true;
   } else {
     std::vector<RowId> sorted_result = dirty_result;
     std::sort(sorted_result.begin(), sorted_result.end());
-    violations = theta_->DetectIncremental(sorted_result);
+    detected = theta_->DetectIncremental(sorted_result);
   }
-  out.detect_ops = theta_->pairs_checked();
+  out.detect_ops += theta_->pairs_checked();
 
   DAISY_ASSIGN_OR_RETURN(
       RepairStats stats,
-      RepairDcViolations(table_, *dc_, violations, provenance_));
-  out.errors_fixed = stats.tuples_repaired;
+      RepairDcViolations(table_, *dc_, detected, provenance_));
+  out.errors_fixed += stats.tuples_repaired;
 
-  // Conflicting tuples outside the result whose candidate ranges may now
-  // satisfy the filter join the corrected result.
-  std::unordered_set<RowId> in_result(dirty_result.begin(),
-                                      dirty_result.end());
-  std::vector<RowId> outside;
-  for (const ViolationPair& v : violations) {
-    if (in_result.insert(v.t1).second) outside.push_back(v.t1);
-    if (in_result.insert(v.t2).second) outside.push_back(v.t2);
-  }
-  out.extra_tuples = outside.size();
-  DAISY_ASSIGN_OR_RETURN(std::vector<RowId> qualifying_extras,
-                         FilterRows(*table_, filter, outside));
-  out.final_rows.insert(out.final_rows.end(), qualifying_extras.begin(),
-                        qualifying_extras.end());
-  std::sort(out.final_rows.begin(), out.final_rows.end());
-  out.final_rows.erase(
-      std::unique(out.final_rows.begin(), out.final_rows.end()),
-      out.final_rows.end());
+  violations.insert(violations.end(), detected.begin(), detected.end());
+  DAISY_RETURN_IF_ERROR(JoinConflictExtras(filter, violations, &out));
 
   MarkChecked(dirty_result);
   if (out.used_full_clean) MarkChecked(table_->AllRowIds());
@@ -176,8 +269,11 @@ Result<CleanSelectResult> CleanSelect::RunDc(
 
 Result<CleanSelectResult> CleanSelect::CleanRemaining(
     const CleaningOptions& options) {
+  SyncRowCount();
   CleanSelectResult out;
   if (dc_->IsFd()) {
+    out.delta_rows_checked = pending_rows_.size();
+    pending_rows_.clear();
     // Repair every not-yet-checked tuple. The scope must include the whole
     // table so candidate distributions are complete.
     std::vector<RowId> all = table_->AllRowIds();
@@ -189,12 +285,18 @@ Result<CleanSelectResult> CleanSelect::CleanRemaining(
     return out;
   }
   theta_->set_pruning_enabled(options.theta_pruning);
+  // Delta batches first: DetectAll skips checked-row pairs, so the new x
+  // old cross pairs must be paid through DetectDelta before full coverage
+  // is declared. No result set here, so the drained pairs need no
+  // extra-tuples join.
+  std::vector<ViolationPair> drained;
+  DAISY_RETURN_IF_ERROR(DrainPendingDeltas(&out, &drained));
   std::vector<ViolationPair> violations = theta_->DetectAll();
-  out.detect_ops = theta_->pairs_checked();
+  out.detect_ops += theta_->pairs_checked();
   DAISY_ASSIGN_OR_RETURN(
       RepairStats stats,
       RepairDcViolations(table_, *dc_, violations, provenance_));
-  out.errors_fixed = stats.tuples_repaired;
+  out.errors_fixed += stats.tuples_repaired;
   out.used_full_clean = true;
   MarkChecked(table_->AllRowIds());
   return out;

@@ -45,6 +45,10 @@ struct CleanSelectResult {
   size_t relax_iterations = 0;
   size_t detect_ops = 0;           ///< comparisons performed
   size_t tuples_scanned = 0;       ///< unseen tuples visited by relaxation
+  /// Ingested rows this invocation accounted for: DC rules pay the
+  /// DetectDelta pass here, FD rules consult the delta-maintained group
+  /// statistics. Surfaced by EXPLAIN as "delta rows checked: N".
+  size_t delta_rows_checked = 0;
   double estimated_accuracy = 1.0; ///< DC path only
   bool used_full_clean = false;    ///< DC accuracy fallback fired
   bool pruned = false;             ///< statistics pruning skipped cleaning
@@ -72,9 +76,22 @@ class CleanSelect {
   /// Cleans everything not yet checked (the cost-model switch target).
   Result<CleanSelectResult> CleanRemaining(const CleaningOptions& options);
 
+  /// Folds one ingest batch into the per-rule bookkeeping: appended rows
+  /// join as unchecked, deleted rows become trivially checked, and
+  /// `stale_rows` (live members of violating FD groups whose membership
+  /// the batch changed — see FdDeltaDetector::ApplyDelta) lose their
+  /// checked status so the next touching query re-repairs them against the
+  /// new data. FD rules also extend the correlation index; DC rules queue
+  /// the delta for a DetectDelta pass on the next Run.
+  void ApplyDelta(const TableDelta& delta,
+                  const std::vector<RowId>& stale_rows);
+
   /// Fraction of rows already checked by this rule.
   double checked_fraction() const;
-  bool fully_checked() const { return checked_count_ == checked_.size(); }
+  bool fully_checked() const {
+    return checked_count_ == checked_.size() &&
+           checked_.size() == table_->num_rows();
+  }
 
  private:
   Result<CleanSelectResult> RunFd(const Expr* filter,
@@ -84,16 +101,34 @@ class CleanSelect {
                                   const std::vector<RowId>& dirty_result,
                                   const CleaningOptions& options);
   void MarkChecked(const std::vector<RowId>& rows);
+  /// Grows checked_ for rows appended directly on the table (no delta).
+  void SyncRowCount();
+  /// DC path: runs DetectDelta + repair for every queued ingest batch,
+  /// appending the detected violations to `drained` so the caller can
+  /// apply the Example-3 extra-tuples join to them too.
+  Status DrainPendingDeltas(CleanSelectResult* out,
+                            std::vector<ViolationPair>* drained);
+  /// Conflicting tuples outside the current result whose candidate values
+  /// may now satisfy the filter join the corrected result (Example 3).
+  Status JoinConflictExtras(const Expr* filter,
+                            const std::vector<ViolationPair>& violations,
+                            CleanSelectResult* out);
 
   Table* table_;
   const DenialConstraint* dc_;
   ProvenanceStore* provenance_;
   const Statistics* stats_;
   ThetaJoinDetector* theta_;
-  /// Lazily built correlation index over the FD's original values.
+  /// Lazily built correlation index over the FD's original values,
+  /// delta-maintained by ApplyDelta.
   std::unique_ptr<FdRelaxIndex> relax_index_;
   std::vector<bool> checked_;
   size_t checked_count_ = 0;
+  /// DC rules: ingest batches not yet delta-detected (drained in order).
+  std::vector<TableDelta> pending_deltas_;
+  /// Rows ingested since the last Run and still live (EXPLAIN accounting;
+  /// a row appended and deleted between queries settles as nothing).
+  std::vector<RowId> pending_rows_;
 };
 
 }  // namespace daisy

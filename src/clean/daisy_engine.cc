@@ -1,18 +1,51 @@
 #include "clean/daisy_engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "plan/planner.h"
 #include "query/parser.h"
+#include "repair/dc_repair.h"
 
 namespace daisy {
 
+void ApplyEnvOverrides(DaisyOptions* options) {
+  bool fired = false;
+  if (const char* v = std::getenv("DAISY_COLUMNAR_FILTERS")) {
+    const std::string s(v);
+    if (s == "0" || s == "false") options->columnar_filters = false;
+    if (s == "1" || s == "true") options->columnar_filters = true;
+    fired = true;
+  }
+  if (const char* v = std::getenv("DAISY_DETECT_THREADS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) options->detect_threads = static_cast<size_t>(n);
+    fired = true;
+  }
+  // The override silently replacing explicitly passed options would be a
+  // debugging trap outside CI (e.g. vars left exported from reproducing
+  // the ablation leg locally) — announce it once per process.
+  if (fired) {
+    static const bool announced = [] {
+      std::fprintf(stderr,
+                   "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_DETECT_THREADS set: "
+                   "overriding DaisyOptions (CI ablation hook)\n");
+      return true;
+    }();
+    (void)announced;
+  }
+}
+
 DaisyEngine::DaisyEngine(Database* db, ConstraintSet constraints,
                          DaisyOptions options)
-    : db_(db), constraints_(std::move(constraints)), options_(options) {}
+    : db_(db), constraints_(std::move(constraints)), options_(options) {
+  ApplyEnvOverrides(&options_);
+}
 
 Status DaisyEngine::Prepare() {
-  DAISY_RETURN_IF_ERROR(statistics_.Compute(*db_, constraints_));
+  statistics_.Clear();
   rules_.clear();
   provenance_.clear();
   for (const DenialConstraint& dc : constraints_.all()) {
@@ -24,6 +57,14 @@ Status DaisyEngine::Prepare() {
     if (!dc.IsFd()) {
       state.theta = std::make_unique<ThetaJoinDetector>(
           table, &dc, options_.theta_partitions, options_.detect_threads);
+    } else {
+      // One grouping pass serves both the delta-maintained detector and
+      // the precomputed statistics (ExportStats ≡ Statistics::Compute for
+      // this rule — the differential harness pins the equivalence).
+      state.fd_delta = std::make_unique<FdDeltaDetector>(table, &dc);
+      FdRuleStats stats;
+      state.fd_delta->ExportStats(&stats);
+      statistics_.Put(std::move(stats));
     }
     state.op = std::make_unique<CleanSelect>(table, &dc, prov, &statistics_,
                                              state.theta.get());
@@ -62,14 +103,17 @@ Result<QueryReport> DaisyEngine::Query(const std::string& sql) {
   return Query(stmt);
 }
 
-Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
+Result<Plan> DaisyEngine::MakePlan(const SelectStmt& stmt) {
   if (!prepared_) {
     return Status::Internal("DaisyEngine::Prepare() must be called first");
   }
   Planner planner(db_);
   planner.set_columnar_filters(options_.columnar_filters);
-  DAISY_ASSIGN_OR_RETURN(Plan plan,
-                         planner.PlanQuery(stmt, plan_context_.get()));
+  return planner.PlanQuery(stmt, plan_context_.get());
+}
+
+Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
+  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
   QueryReport report;
   DAISY_ASSIGN_OR_RETURN(report.output, plan.Execute());
   const CleaningExecStats& cs = plan.cleaning_stats();
@@ -79,6 +123,7 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
   report.detect_ops = cs.detect_ops;
   report.rules_applied = cs.rules_applied;
   report.rules_pruned = cs.rules_pruned;
+  report.delta_rows_checked = cs.delta_rows_checked;
   report.switched_to_full = cs.switched_to_full;
   report.used_dc_full_clean = cs.used_dc_full_clean;
   report.min_estimated_accuracy = cs.min_estimated_accuracy;
@@ -86,15 +131,77 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
 }
 
 Result<std::string> DaisyEngine::Explain(const std::string& sql) {
-  if (!prepared_) {
-    return Status::Internal("DaisyEngine::Prepare() must be called first");
-  }
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
-  Planner planner(db_);
-  planner.set_columnar_filters(options_.columnar_filters);
-  DAISY_ASSIGN_OR_RETURN(Plan plan,
-                         planner.PlanQuery(stmt, plan_context_.get()));
+  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
   return plan.Explain();
+}
+
+Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql) {
+  DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+  DAISY_RETURN_IF_ERROR(plan.Execute().status());
+  return plan.Explain();
+}
+
+Result<TableDelta> DaisyEngine::AppendRows(
+    const std::string& table, std::vector<std::vector<Value>> rows) {
+  if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->AppendRows(std::move(rows)));
+  DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
+  return delta;
+}
+
+Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
+                                           std::vector<RowId> ids) {
+  if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->DeleteRows(std::move(ids)));
+  DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
+  return delta;
+}
+
+Status DaisyEngine::ApplyDeltaToRules(const std::string& table_name,
+                                      const TableDelta& delta) {
+  if (!delta.deleted.empty()) {
+    auto prov = provenance_.find(table_name);
+    if (prov != provenance_.end()) prov->second.DropRows(delta.deleted);
+  }
+  for (auto& [name, state] : rules_) {
+    if (state.dc->table() != table_name) continue;
+    std::vector<RowId> stale_rows;
+    if (state.fd_delta != nullptr) {
+      stale_rows =
+          state.fd_delta->ApplyDelta(delta, statistics_.MutableForRule(name));
+      // The batch changed these rows' violating groups, so their earlier
+      // fixes no longer cover the data (Lemma 1 assumed a static relation):
+      // drop this rule's records and let the next touching query re-derive
+      // them from the updated groups.
+      ProvenanceStore& prov = provenance_[table_name];
+      for (RowId r : stale_rows) {
+        prov.DropRuleRecords(state.table, r, name);
+      }
+    } else if (state.theta != nullptr && !delta.deleted.empty()) {
+      // A deletion that retracts violating pairs invalidates the repairs
+      // derived from them. DC pair evidence accumulates per cell and is
+      // not separable per pair, so re-derive this rule's fixes wholesale
+      // from the surviving maintained set — exactly what cleaning the
+      // post-delete data from scratch would produce.
+      if (state.theta->ConsumeRetractions() > 0) {
+        ProvenanceStore& prov = provenance_[table_name];
+        prov.DropRule(state.table, name);
+        const std::vector<ViolationPair>& surviving =
+            state.theta->maintained_violations();
+        if (!surviving.empty()) {
+          DAISY_RETURN_IF_ERROR(
+              RepairDcViolations(state.table, *state.dc, surviving, &prov)
+                  .status());
+        }
+      }
+    }
+    state.op->ApplyDelta(delta, stale_rows);
+  }
+  return Status::OK();
 }
 
 Status DaisyEngine::CleanAllRemaining() {

@@ -27,6 +27,7 @@
 #include "clean/cost_model.h"
 #include "clean/statistics.h"
 #include "constraints/constraint_set.h"
+#include "detect/fd_delta.h"
 #include "plan/planner.h"
 #include "query/executor.h"
 #include "storage/database.h"
@@ -54,6 +55,14 @@ struct DaisyOptions {
   bool columnar_filters = true;
 };
 
+/// CI ablation hooks: when the environment variables DAISY_COLUMNAR_FILTERS
+/// ("0"/"1") or DAISY_DETECT_THREADS (positive integer) are set, they
+/// override the corresponding fields so the whole test suite can run with a
+/// non-default configuration (see the ablation leg in .github/workflows).
+/// A no-op when neither variable is set. Applied by the DaisyEngine
+/// constructor.
+void ApplyEnvOverrides(DaisyOptions* options);
+
 /// Per-query execution report: the corrected output plus the cleaning
 /// counters the benches plot.
 struct QueryReport {
@@ -64,6 +73,7 @@ struct QueryReport {
   size_t detect_ops = 0;         ///< violation-check comparisons
   size_t rules_applied = 0;      ///< cleaning operators injected
   size_t rules_pruned = 0;       ///< skipped via statistics/checked state
+  size_t delta_rows_checked = 0; ///< ingested rows settled by this query
   bool switched_to_full = false; ///< cost model fired this query
   bool used_dc_full_clean = false;
   double min_estimated_accuracy = 1.0;
@@ -89,6 +99,26 @@ class DaisyEngine {
   /// cleaned sides, statistics-pruned rules dropped).
   Result<std::string> Explain(const std::string& sql);
 
+  /// Executes `sql` exactly like Query() (cleaning side effects included)
+  /// and returns the plan tree annotated with runtime counters — cleanσ
+  /// nodes that settled ingested rows carry "delta rows checked: N".
+  Result<std::string> ExplainAnalyze(const std::string& sql);
+
+  /// Transactional ingest: appends `rows` to `table` and folds the delta
+  /// into every dependent rule's state in O(delta) — FD group statistics
+  /// and dirty sets, relaxation indexes, checked coverage; general-DC rules
+  /// queue the batch for a DetectDelta pass on the next touching query, so
+  /// a post-ingest query pays new x old instead of a full re-detection.
+  /// Must be called after Prepare().
+  Result<TableDelta> AppendRows(const std::string& table,
+                                std::vector<std::vector<Value>> rows);
+
+  /// Transactional ingest: tombstones `ids` in `table`, prunes their
+  /// violations/provenance, and updates the per-rule statistics — a rule
+  /// whose last violation disappears re-engages statistics pruning.
+  Result<TableDelta> DeleteRows(const std::string& table,
+                                std::vector<RowId> ids);
+
   /// Cleans every remaining dirty tuple for all rules (manual switch).
   Status CleanAllRemaining();
 
@@ -113,11 +143,15 @@ class DaisyEngine {
     const DenialConstraint* dc = nullptr;
     Table* table = nullptr;
     std::unique_ptr<ThetaJoinDetector> theta;  ///< general DCs only
+    std::unique_ptr<FdDeltaDetector> fd_delta;  ///< FD rules only
     std::unique_ptr<CleanSelect> op;
     CostModel cost;
   };
 
   CleaningOptions MakeCleaningOptions() const;
+  Status ApplyDeltaToRules(const std::string& table_name,
+                           const TableDelta& delta);
+  Result<Plan> MakePlan(const SelectStmt& stmt);
 
   Database* db_;
   ConstraintSet constraints_;

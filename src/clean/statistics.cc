@@ -12,7 +12,7 @@ Status Statistics::Compute(const Database& db,
     DAISY_ASSIGN_OR_RETURN(const Table* table, db.GetTable(dc.table()));
     FdRuleStats stats;
     stats.rule = dc.name();
-    stats.table_rows = table->num_rows();
+    stats.table_rows = table->num_live_rows();
     const std::vector<FdGroup> groups =
         DetectFdViolations(*table, dc, table->AllRowIds(), false);
     size_t candidate_sum = 0;
@@ -34,7 +34,16 @@ Status Statistics::Compute(const Database& db,
   return Status::OK();
 }
 
+void Statistics::Put(FdRuleStats stats) {
+  per_rule_[stats.rule] = std::move(stats);
+}
+
 const FdRuleStats* Statistics::ForRule(const std::string& rule) const {
+  auto it = per_rule_.find(rule);
+  return it == per_rule_.end() ? nullptr : &it->second;
+}
+
+FdRuleStats* Statistics::MutableForRule(const std::string& rule) {
   auto it = per_rule_.find(rule);
   return it == per_rule_.end() ? nullptr : &it->second;
 }

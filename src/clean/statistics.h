@@ -43,8 +43,20 @@ class Statistics {
   /// estimates from the theta-join partitions instead).
   Status Compute(const Database& db, const ConstraintSet& constraints);
 
+  /// Installs (or replaces) one rule's stats wholesale. The engine's
+  /// Prepare uses this with FdDeltaDetector::ExportStats so the relation
+  /// is grouped once, not once for the statistics and once for the
+  /// delta-maintained detector.
+  void Put(FdRuleStats stats);
+
+  void Clear() { per_rule_.clear(); }
+
   /// Stats for `rule`, or nullptr if not an FD rule / not computed.
   const FdRuleStats* ForRule(const std::string& rule) const;
+
+  /// Mutable stats for `rule` — the ingest path patches them in place via
+  /// FdDeltaDetector::ApplyDelta so pruning always reflects the live data.
+  FdRuleStats* MutableForRule(const std::string& rule);
 
   /// True if any of `rows` touches a dirty group of `dc` (lhs key or rhs
   /// value). Used to skip relaxation/cleaning entirely for clean regions.

@@ -1,0 +1,179 @@
+#include "detect/fd_delta.h"
+
+#include <algorithm>
+
+namespace daisy {
+
+FdDeltaDetector::FdDeltaDetector(const Table* table,
+                                 const DenialConstraint* dc)
+    : table_(table), dc_(dc) {
+  Rebuild();
+}
+
+void FdDeltaDetector::Rebuild() {
+  groups_.clear();
+  dirty_rhs_refs_.clear();
+  violating_rows_ = 0;
+  violating_groups_ = 0;
+  candidate_sum_ = 0;
+  const FdView& fd = dc_->fd();
+  const size_t n = table_->num_rows();
+  groups_.reserve(n);
+  for (RowId r = 0; r < n; ++r) {
+    if (!table_->is_live(r)) continue;
+    GroupState& g = groups_[MakeGroupKey(*table_, r, fd.lhs)];
+    g.rows.push_back(r);  // ascending: rows visited in id order
+    ++g.hist[table_->cell(r, fd.rhs).original()];
+  }
+  for (const auto& [key, g] : groups_) {
+    if (!g.violating()) continue;
+    ++violating_groups_;
+    violating_rows_ += g.rows.size();
+    candidate_sum_ += g.hist.size();
+    for (const auto& [value, count] : g.hist) ++dirty_rhs_refs_[value];
+  }
+}
+
+void FdDeltaDetector::RemoveContribution(const GroupKey& key,
+                                         FdRuleStats* stats) {
+  auto it = groups_.find(key);
+  if (it == groups_.end() || !it->second.violating()) return;
+  const GroupState& g = it->second;
+  --violating_groups_;
+  violating_rows_ -= g.rows.size();
+  candidate_sum_ -= g.hist.size();
+  if (stats != nullptr) stats->dirty_lhs_keys.erase(key);
+  for (const auto& [value, count] : g.hist) {
+    auto ref = dirty_rhs_refs_.find(value);
+    if (ref != dirty_rhs_refs_.end() && --ref->second == 0) {
+      dirty_rhs_refs_.erase(ref);
+      if (stats != nullptr) stats->dirty_rhs_vals.erase(value);
+    }
+  }
+}
+
+void FdDeltaDetector::AddContribution(const GroupKey& key,
+                                      const GroupState& group,
+                                      FdRuleStats* stats) {
+  if (!group.violating()) return;
+  ++violating_groups_;
+  violating_rows_ += group.rows.size();
+  candidate_sum_ += group.hist.size();
+  if (stats != nullptr) stats->dirty_lhs_keys.insert(key);
+  for (const auto& [value, count] : group.hist) {
+    if (++dirty_rhs_refs_[value] == 1 && stats != nullptr) {
+      stats->dirty_rhs_vals.insert(value);
+    }
+  }
+}
+
+void FdDeltaDetector::MirrorCounters(FdRuleStats* stats) const {
+  stats->table_rows = table_->num_live_rows();
+  stats->num_violating_rows = violating_rows_;
+  stats->num_violating_groups = violating_groups_;
+  stats->avg_candidates =
+      violating_groups_ == 0
+          ? 1.0
+          : static_cast<double>(candidate_sum_) /
+                static_cast<double>(violating_groups_);
+}
+
+std::vector<RowId> FdDeltaDetector::ApplyDelta(const TableDelta& delta,
+                                               FdRuleStats* stats) {
+  const FdView& fd = dc_->fd();
+  // Groups whose membership this batch touches: their contribution to the
+  // counters/dirty sets is retracted up front and re-added once the batch
+  // is folded in, so every transition (clean<->violating, histogram growth)
+  // patches the statistics exactly. The map remembers whether the group
+  // was violating *before* the batch — rows of a group that stops
+  // violating carry repairs computed against evidence that no longer
+  // exists, so they count as stale too.
+  std::vector<GroupKey> touched_order;
+  std::unordered_map<GroupKey, bool, GroupKeyHash, GroupKeyEq> touched;
+  auto touch = [&](const GroupKey& key) {
+    auto existing = groups_.find(key);
+    const bool was_violating =
+        existing != groups_.end() && existing->second.violating();
+    if (touched.emplace(key, was_violating).second) {
+      touched_order.push_back(key);
+      RemoveContribution(key, stats);
+    }
+  };
+
+  for (RowId r : delta.appended) {
+    if (!table_->is_live(r)) continue;
+    GroupKey key = MakeGroupKey(*table_, r, fd.lhs);
+    touch(key);
+    GroupState& g = groups_[key];
+    g.rows.push_back(r);  // appended ids exceed all existing: stays sorted
+    ++g.hist[table_->cell(r, fd.rhs).original()];
+  }
+  for (RowId r : delta.deleted) {
+    GroupKey key = MakeGroupKey(*table_, r, fd.lhs);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) continue;
+    GroupState& g = it->second;
+    const auto pos = std::find(g.rows.begin(), g.rows.end(), r);
+    if (pos == g.rows.end()) continue;  // row never tracked (stale delta)
+    touch(key);  // reads counters only; g and pos stay valid
+    g.rows.erase(pos);
+    auto h = g.hist.find(table_->cell(r, fd.rhs).original());
+    if (h != g.hist.end() && --h->second == 0) g.hist.erase(h);
+  }
+
+  std::vector<RowId> stale;
+  for (const GroupKey& key : touched_order) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) continue;
+    if (it->second.rows.empty()) {
+      groups_.erase(it);
+      continue;
+    }
+    AddContribution(key, it->second, stats);
+    // Stale: the group violates now (members need fresh fixes against the
+    // changed histogram) or violated before (a delete resolved it — the
+    // survivors' probabilistic repairs must be retracted, matching what
+    // cleaning the post-delete data from scratch would produce).
+    if (it->second.violating() || touched[key]) {
+      stale.insert(stale.end(), it->second.rows.begin(),
+                   it->second.rows.end());
+    }
+  }
+  if (stats != nullptr) MirrorCounters(stats);
+  std::sort(stale.begin(), stale.end());
+  stale.erase(std::unique(stale.begin(), stale.end()), stale.end());
+  return stale;
+}
+
+std::vector<FdGroup> FdDeltaDetector::ViolatingGroups(
+    bool include_clean) const {
+  std::vector<FdGroup> out;
+  out.reserve(include_clean ? groups_.size() : violating_groups_);
+  for (const auto& [key, g] : groups_) {
+    if (!include_clean && !g.violating()) continue;
+    FdGroup group;
+    group.lhs_key = key;
+    group.rows = g.rows;
+    group.rhs_histogram.assign(g.hist.begin(), g.hist.end());
+    SortFdRhsHistogram(&group.rhs_histogram);
+    out.push_back(std::move(group));
+  }
+  SortFdGroups(&out);
+  return out;
+}
+
+void FdDeltaDetector::ExportStats(FdRuleStats* stats) const {
+  stats->rule = dc_->name();
+  stats->dirty_lhs_keys.clear();
+  stats->dirty_rhs_vals.clear();
+  for (const auto& [key, g] : groups_) {
+    if (!g.violating()) continue;
+    stats->dirty_lhs_keys.insert(key);
+    for (const auto& [value, count] : g.hist) {
+      stats->dirty_rhs_vals.insert(value);
+    }
+  }
+  MirrorCounters(stats);
+}
+
+}  // namespace daisy

@@ -1,0 +1,99 @@
+// Delta-maintained FD violation state (the BigDansing group-by detection
+// primitive kept warm across ingest batches).
+//
+// Where DetectFdViolations re-groups the whole relation per call, an
+// FdDeltaDetector holds the lhs-group membership and per-group rhs
+// histograms and folds each TableDelta in with O(|delta|) map updates. The
+// maintained state is bit-identical to a from-scratch detection at every
+// point: ViolatingGroups() reproduces DetectFdViolations over the live
+// rows, and ApplyDelta patches an FdRuleStats in place (dirty lhs keys,
+// dirty rhs values with cross-group reference counting, violating
+// row/group counts, the candidate-width average) so statistics pruning
+// reflects post-ingest reality — including re-engaging after a delete
+// removes a rule's last violation.
+//
+// ApplyDelta also reports which live rows' repair state the batch made
+// stale — members of touched groups that violate now (earlier repairs are
+// incomplete against the new data) or violated before (a delete resolved
+// the group; the survivors' fixes must be retracted). Per-rule checked
+// bookkeeping uncovers them and provenance drops the rule's records (the
+// caller passes them to CleanSelect::ApplyDelta /
+// ProvenanceStore::DropRuleRecords).
+//
+// Grouping runs on original values (Value-keyed maps), which never change
+// in the engine's repair model — repairs only attach candidate sets. An
+// in-place original-value edit requires Rebuild().
+
+#ifndef DAISY_DETECT_FD_DELTA_H_
+#define DAISY_DETECT_FD_DELTA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "clean/statistics.h"
+#include "constraints/denial_constraint.h"
+#include "detect/fd_detector.h"
+#include "detect/group_by.h"
+#include "storage/table.h"
+
+namespace daisy {
+
+class FdDeltaDetector {
+ public:
+  /// Requires dc->IsFd(). `table` and `dc` must outlive the detector.
+  /// Builds the group state over the live rows immediately.
+  FdDeltaDetector(const Table* table, const DenialConstraint* dc);
+
+  /// Rebuilds the group state from scratch over the live rows (needed only
+  /// after an in-place original-value edit).
+  void Rebuild();
+
+  /// Folds one ingest batch into the group state in O(|delta|). When
+  /// `stats` is non-null it is patched to exactly what a fresh
+  /// Statistics::Compute would produce. Returns the live rows whose
+  /// repair state may be stale — members of every touched group that
+  /// violates after the batch *or* violated before it (a delete resolving
+  /// a group leaves survivors whose fixes must be retracted) — ascending
+  /// and unique.
+  std::vector<RowId> ApplyDelta(const TableDelta& delta, FdRuleStats* stats);
+
+  /// Materializes the maintained groups in the canonical detection order —
+  /// identical to DetectFdViolations(table, dc, table.AllRowIds(),
+  /// include_clean).
+  std::vector<FdGroup> ViolatingGroups(bool include_clean = false) const;
+
+  /// Rows currently in some violating group (the paper's ε).
+  size_t num_violating_rows() const { return violating_rows_; }
+  size_t num_violating_groups() const { return violating_groups_; }
+
+  /// Fully (re)derives `stats` from the maintained state (sets + counters).
+  void ExportStats(FdRuleStats* stats) const;
+
+ private:
+  struct GroupState {
+    std::vector<RowId> rows;  ///< live members, ascending
+    std::unordered_map<Value, size_t, ValueHash> hist;  ///< rhs frequencies
+    bool violating() const { return hist.size() > 1; }
+  };
+  using GroupMapState =
+      std::unordered_map<GroupKey, GroupState, GroupKeyHash, GroupKeyEq>;
+
+  void RemoveContribution(const GroupKey& key, FdRuleStats* stats);
+  void AddContribution(const GroupKey& key, const GroupState& group,
+                       FdRuleStats* stats);
+  void MirrorCounters(FdRuleStats* stats) const;
+
+  const Table* table_;
+  const DenialConstraint* dc_;
+  GroupMapState groups_;
+  /// rhs value -> number of violating groups whose histogram contains it
+  /// (a value leaves the dirty set only when the last such group does).
+  std::unordered_map<Value, size_t, ValueHash> dirty_rhs_refs_;
+  size_t violating_rows_ = 0;
+  size_t violating_groups_ = 0;
+  size_t candidate_sum_ = 0;  ///< Σ distinct rhs over violating groups
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_DETECT_FD_DELTA_H_

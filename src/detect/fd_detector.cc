@@ -5,9 +5,7 @@
 
 namespace daisy {
 
-namespace {
-
-void SortGroupOutput(std::vector<FdGroup>* out) {
+void SortFdGroups(std::vector<FdGroup>* out) {
   // Deterministic order for tests: sort groups by key.
   std::sort(out->begin(), out->end(), [](const FdGroup& a, const FdGroup& b) {
     for (size_t i = 0; i < std::min(a.lhs_key.size(), b.lhs_key.size()); ++i) {
@@ -18,15 +16,13 @@ void SortGroupOutput(std::vector<FdGroup>* out) {
   });
 }
 
-void SortHistogram(std::vector<std::pair<Value, size_t>>* hist) {
+void SortFdRhsHistogram(std::vector<std::pair<Value, size_t>>* hist) {
   std::sort(hist->begin(), hist->end(),
             [](const auto& a, const auto& b) {
               if (a.second != b.second) return a.second > b.second;
               return a.first.Compare(b.first) < 0;
             });
 }
-
-}  // namespace
 
 std::vector<FdGroup> DetectFdViolations(const Table& table,
                                         const DenialConstraint& dc,
@@ -60,10 +56,10 @@ std::vector<FdGroup> DetectFdViolations(const Table& table,
       counts[code] = 0;
     }
     group.rows = std::move(members);
-    SortHistogram(&group.rhs_histogram);
+    SortFdRhsHistogram(&group.rhs_histogram);
     out.push_back(std::move(group));
   }
-  SortGroupOutput(&out);
+  SortFdGroups(&out);
   return out;
 }
 
@@ -86,10 +82,10 @@ std::vector<FdGroup> DetectFdViolationsRowPath(const Table& table,
     group.lhs_key = key;
     group.rows = std::move(members);
     group.rhs_histogram.assign(hist.begin(), hist.end());
-    SortHistogram(&group.rhs_histogram);
+    SortFdRhsHistogram(&group.rhs_histogram);
     out.push_back(std::move(group));
   }
-  SortGroupOutput(&out);
+  SortFdGroups(&out);
   return out;
 }
 

@@ -44,6 +44,13 @@ std::vector<FdGroup> DetectFdViolationsRowPath(const Table& table,
 /// whole table — the paper's #vio statistic.
 size_t CountFdViolatingRows(const Table& table, const DenialConstraint& dc);
 
+/// Canonical ordering of detection output, shared by the from-scratch
+/// detectors above and the delta-maintained FdDeltaDetector so their group
+/// lists compare bit-identically: groups by lhs key (Value::Compare), each
+/// histogram by (count desc, value).
+void SortFdGroups(std::vector<FdGroup>* groups);
+void SortFdRhsHistogram(std::vector<std::pair<Value, size_t>>* hist);
+
 }  // namespace daisy
 
 #endif  // DAISY_DETECT_FD_DETECTOR_H_

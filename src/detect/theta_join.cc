@@ -66,7 +66,20 @@ ThetaJoinDetector::ThetaJoinDetector(const Table* table,
     }
   }
   BuildPartitions();
+  ResetCoverage();
+}
+
+void ThetaJoinDetector::ResetCoverage() {
   checked_.assign(table_->num_rows(), false);
+  for (RowId r = 0; r < checked_.size(); ++r) {
+    if (!table_->is_live(r)) checked_[r] = true;
+  }
+  deleted_log_pos_ = table_->deleted_rows_log().size();
+  // Nothing is checked, so a plain DetectAll covers every pair — no
+  // appended rows owe a separate integration pass.
+  integrated_rows_ = table_->num_rows();
+  maintained_.clear();
+  retractions_ = 0;
 }
 
 void ThetaJoinDetector::EnsureFresh() {
@@ -76,9 +89,8 @@ void ThetaJoinDetector::EnsureFresh() {
   // ones the current partitions/coverage were computed on. A new cache
   // identity (the table was reassigned wholesale) counts — generations of
   // different cache instances are not comparable.
-  bool content_changed = cols_.size() != cols.size() ||
-                         checked_.size() != table_->num_rows() ||
-                         cache.id() != cache_id_;
+  bool content_changed =
+      cols_.size() != cols.size() || cache.id() != cache_id_;
   // Storage move: a rebuild reallocated the arrays the compiled atoms
   // point into, even if it reproduced identical content (the usual
   // candidate-only repair path). Pointers must be refreshed either way.
@@ -90,14 +102,70 @@ void ThetaJoinDetector::EnsureFresh() {
       if (col.num.data() != col_data_[i]) storage_moved = true;
     }
   }
-  if (!content_changed && !storage_moved) return;
-  BuildPartitions();
   if (content_changed) {
     // Rows checked against the old values are not checked against the
-    // new; estimates are stale too. A pure storage move keeps both.
+    // new; estimates and the maintained set are stale too.
+    BuildPartitions();
     range_vio_valid_ = false;
-    checked_.assign(table_->num_rows(), false);
+    ResetCoverage();
+    return;
   }
+  // Ingest deltas keep the coverage: appended rows join as unchecked,
+  // deleted rows become trivially checked and their pairs are pruned.
+  const bool appended = checked_.size() < table_->num_rows();
+  if (appended) checked_.resize(table_->num_rows(), false);
+  const std::vector<RowId>& dlog = table_->deleted_rows_log();
+  const bool deleted = deleted_log_pos_ < dlog.size();
+  if (deleted) {
+    for (size_t i = deleted_log_pos_; i < dlog.size(); ++i) {
+      if (dlog[i] < checked_.size()) checked_[dlog[i]] = true;
+    }
+    deleted_log_pos_ = dlog.size();
+    auto dead = [&](const ViolationPair& p) {
+      return !table_->is_live(p.t1) || !table_->is_live(p.t2);
+    };
+    const size_t before = maintained_.size();
+    maintained_.erase(
+        std::remove_if(maintained_.begin(), maintained_.end(), dead),
+        maintained_.end());
+    retractions_ += before - maintained_.size();
+  }
+  if (appended || deleted) {
+    BuildPartitions();
+    range_vio_valid_ = false;
+  } else if (storage_moved) {
+    BuildPartitions();
+  }
+}
+
+void ThetaJoinDetector::MergeIntoMaintained(
+    const std::vector<ViolationPair>& found) {
+  if (found.empty()) return;
+  // maintained_ is kept sorted, so only the new pairs need sorting before
+  // an in-place merge. The unique pass is load-bearing: DetectAll /
+  // DetectIncremental merge their auto-drained pairs a second time when
+  // the combined result vector is folded in at the end of the call.
+  std::vector<ViolationPair> sorted_found = found;
+  std::sort(sorted_found.begin(), sorted_found.end());
+  const size_t old_size = maintained_.size();
+  maintained_.insert(maintained_.end(), sorted_found.begin(),
+                     sorted_found.end());
+  std::inplace_merge(maintained_.begin(), maintained_.begin() + old_size,
+                     maintained_.end());
+  maintained_.erase(std::unique(maintained_.begin(), maintained_.end()),
+                    maintained_.end());
+}
+
+const std::vector<ViolationPair>& ThetaJoinDetector::maintained_violations() {
+  EnsureFresh();
+  return maintained_;
+}
+
+size_t ThetaJoinDetector::ConsumeRetractions() {
+  EnsureFresh();
+  const size_t count = retractions_;
+  retractions_ = 0;
+  return count;
 }
 
 void ThetaJoinDetector::BuildPartitions() {
@@ -117,8 +185,14 @@ void ThetaJoinDetector::BuildPartitions() {
       std::lower_bound(cols.begin(), cols.end(), sort_column_) - cols.begin());
 
   // The cache's sorted index uses exactly this detector's historical order:
-  // numeric projection ascending, row id as tiebreak.
-  sorted_ = cache.column(sort_column_).sorted_rows;
+  // numeric projection ascending, row id as tiebreak. Tombstoned rows are
+  // filtered out here so no scan ever visits them.
+  const std::vector<RowId>& all_sorted = cache.column(sort_column_).sorted_rows;
+  sorted_.clear();
+  sorted_.reserve(table_->num_live_rows());
+  for (RowId r : all_sorted) {
+    if (table_->is_live(r)) sorted_.push_back(r);
+  }
 
   const size_t n = sorted_.size();
   const size_t p = std::min(requested_partitions_, std::max<size_t>(1, n));
@@ -354,6 +428,12 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectAll() {
   pairs_checked_ = 0;
   partitions_pruned_ = 0;
 
+  // Integrate stray appends first (rows added through the plain Table API
+  // with no DetectDelta call): the cell scan below skips pairs with a
+  // checked endpoint, so the new x checked-old pairs must be paid here or
+  // they would be lost forever once everything is marked checked.
+  std::vector<ViolationPair> drained = DrainAppends(checked_.size());
+
   // Surviving matrix cells of the upper triangle, in deterministic order.
   const size_t p = boundaries_.size();
   std::vector<std::pair<uint32_t, uint32_t>> cells;
@@ -368,7 +448,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectAll() {
     }
   }
 
-  std::vector<ViolationPair> out;
+  std::vector<ViolationPair> out = std::move(drained);
   const size_t workers = std::min(threads_, std::max<size_t>(1, cells.size()));
   if (workers <= 1) {
     for (const auto& [i, j] : cells) ScanCell(i, j, &out, &pairs_checked_);
@@ -396,6 +476,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectAll() {
     }
   }
   std::fill(checked_.begin(), checked_.end(), true);
+  MergeIntoMaintained(out);
   return out;
 }
 
@@ -404,7 +485,9 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
   EnsureFresh();
   pairs_checked_ = 0;
   partitions_pruned_ = 0;
-  std::vector<ViolationPair> out;
+  // Stray appends integrate first (see DetectAll): after this, result rows
+  // from the new range are checked and take the fast skip below.
+  std::vector<ViolationPair> out = DrainAppends(checked_.size());
   if (result_rows.empty()) return out;
 
   // Boundary statistics of the query answer, playing the role of one side of
@@ -443,6 +526,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
       }
     }
     for (RowId r : result_rows) checked_[r] = true;
+    MergeIntoMaintained(out);
     return out;
   }
 
@@ -480,6 +564,102 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
     }
   }
   for (RowId r : result_rows) checked_[r] = true;
+  MergeIntoMaintained(out);
+  return out;
+}
+
+std::vector<ViolationPair> ThetaJoinDetector::DetectDelta(
+    const TableDelta& delta) {
+  EnsureFresh();
+  pairs_checked_ = 0;
+  partitions_pruned_ = 0;
+  const RowId end = delta.appended.empty() ? integrated_rows_
+                                           : delta.appended.back() + 1;
+  std::vector<ViolationPair> out = DrainAppends(end);
+  return out;
+}
+
+std::vector<ViolationPair> ThetaJoinDetector::DrainAppends(RowId end) {
+  std::vector<ViolationPair> out;
+  end = std::min<RowId>(end, checked_.size());
+  if (integrated_rows_ >= end) return out;
+  // Rows below `lo` existed before the pending arrivals; rows at or above
+  // `end` arrived later and owe their own pass (this keeps multi-batch
+  // drains exactly-once when called per delta, in order).
+  const RowId lo = integrated_rows_;
+  std::vector<RowId> fresh;
+  fresh.reserve(end - lo);
+  for (RowId r = lo; r < end; ++r) {
+    if (table_->is_live(r) && !checked_[r]) fresh.push_back(r);
+  }
+  integrated_rows_ = end;
+  if (fresh.empty()) return out;
+
+  // The pending rows already sit in the rebuilt partitions, so the scan
+  // reuses DetectAll's *pairwise* partition pruning (a whole-batch bounds
+  // box would span the domain and prune nothing): only cells where one
+  // side holds pending rows and the boundary ranges stay feasible are
+  // visited, giving the O(delta x n/p) partial theta-join.
+  const size_t p = boundaries_.size();
+  std::vector<std::vector<RowId>> new_in(p);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t s = boundaries_[i].begin; s < boundaries_[i].end; ++s) {
+      const RowId u = sorted_[s];
+      if (u >= lo && std::binary_search(fresh.begin(), fresh.end(), u)) {
+        new_in[i].push_back(u);
+      }
+    }
+  }
+
+  auto check = [&](RowId a, RowId b) {
+    ++pairs_checked_;
+    const auto [fwd, rev] = CheckBoth(a, b);
+    if (fwd) out.push_back({a, b});
+    if (rev) out.push_back({b, a});
+  };
+
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = i; j < p; ++j) {
+      if (new_in[i].empty() && new_in[j].empty()) continue;
+      if (pruning_enabled_ && !PairFeasible(boundaries_[i], boundaries_[j])) {
+        ++partitions_pruned_;
+        continue;
+      }
+      const PartitionStats& bi = boundaries_[i];
+      const PartitionStats& bj = boundaries_[j];
+      // new(i) x preexisting(j) — including preexisting rows that were
+      // never checked: this is what restores the coverage invariant the
+      // append broke. Rows >= lo that are not in this batch arrived with a
+      // later batch; their own DetectDelta pairs them with these rows.
+      for (RowId a : new_in[i]) {
+        for (size_t s = bj.begin; s < bj.end; ++s) {
+          const RowId b = sorted_[s];
+          if (b < lo) check(a, b);
+        }
+      }
+      if (j == i) {
+        // new x new inside the partition: each unordered pair once.
+        for (size_t x = 0; x < new_in[i].size(); ++x) {
+          for (size_t y = x + 1; y < new_in[i].size(); ++y) {
+            check(new_in[i][x], new_in[i][y]);
+          }
+        }
+      } else {
+        // new(j) x preexisting(i), and new x new across the two cells.
+        for (RowId b : new_in[j]) {
+          for (size_t s = bi.begin; s < bi.end; ++s) {
+            const RowId a = sorted_[s];
+            if (a < lo) check(b, a);
+          }
+        }
+        for (RowId a : new_in[i]) {
+          for (RowId b : new_in[j]) check(a, b);
+        }
+      }
+    }
+  }
+  for (RowId r : fresh) checked_[r] = true;
+  MergeIntoMaintained(out);
   return out;
 }
 
@@ -617,7 +797,8 @@ double ThetaJoinDetector::Support() const {
   return total == 0 ? 1.0 : static_cast<double>(done) / static_cast<double>(total);
 }
 
-bool ThetaJoinDetector::FullyChecked() const {
+bool ThetaJoinDetector::FullyChecked() {
+  EnsureFresh();
   for (bool b : checked_) {
     if (!b) return false;
   }

@@ -31,6 +31,20 @@
 // (the old coverage was computed on different data); candidate-only repairs
 // keep both.
 //
+// Ingest deltas are cheaper than content changes: appended rows extend the
+// coverage vector as unchecked and only the partitions are rebuilt (from
+// the incrementally-maintained cache sorted index — no re-sort); deleted
+// rows are dropped from the partitions, marked trivially checked, and
+// pruned from the maintained violation set. Appended rows are *integrated*
+// in arrival order — exactly new x preexisting + new x new pairs, at a
+// fraction of a full re-detection — either explicitly through
+// DetectDelta(delta) (the engine's ingest path, which wants the found
+// violations for repair) or automatically at the start of the next
+// DetectAll/DetectIncremental (rows appended through the plain Table API
+// must not silently lose new-vs-checked-row coverage). Either way each
+// cross pair is checked exactly once and the maintained set stays
+// identical to a from-scratch DetectAll.
+//
 // DetectAll optionally fans the surviving partition cells out over a small
 // thread pool. Results are merged in cell order, so the violation vector is
 // identical for any thread count.
@@ -64,6 +78,10 @@ struct ViolationPair {
   RowId t2;
   bool operator==(const ViolationPair& other) const {
     return t1 == other.t1 && t2 == other.t2;
+  }
+  bool operator<(const ViolationPair& other) const {
+    if (t1 != other.t1) return t1 < other.t1;
+    return t2 < other.t2;
   }
 };
 
@@ -100,6 +118,29 @@ class ThetaJoinDetector {
   std::vector<ViolationPair> DetectIncremental(
       const std::vector<RowId>& result_rows);
 
+  /// Delta detection: integrates every live appended row up to the end of
+  /// this batch (earlier un-integrated arrivals first, in order), checking
+  /// each against every preexisting row (checked or not) and against each
+  /// other — exactly new x old + new x new pairs — then marks them
+  /// checked, restoring the "checked means cross-checked against every
+  /// row" invariant the appends broke. Returns the new violations (both
+  /// orientations, like DetectAll) and folds them into
+  /// maintained_violations(). Already-integrated or deleted batch rows
+  /// are skipped, so re-feeding a delta is a no-op.
+  std::vector<ViolationPair> DetectDelta(const TableDelta& delta);
+
+  /// The violation set maintained across DetectAll / DetectIncremental /
+  /// DetectDelta calls, sorted by (t1, t2): every violating pair whose
+  /// endpoints are both covered (pairs touching deleted rows are pruned).
+  /// After full coverage it equals a from-scratch DetectAll, bit for bit.
+  const std::vector<ViolationPair>& maintained_violations();
+
+  /// Number of pairs deletions pruned from the maintained set since the
+  /// last call (syncs first). The engine uses a non-zero result as the
+  /// signal that repairs derived from the retracted evidence must be
+  /// re-derived from the surviving maintained_violations().
+  size_t ConsumeRetractions();
+
   /// Algorithm 2, Estimate_Errors: per-partition estimated violation counts
   /// derived from boundary-range overlaps. Index = partition id.
   const std::vector<double>& EstimateErrors();
@@ -113,8 +154,9 @@ class ThetaJoinDetector {
   /// (Algorithm 2 line 7).
   double Support() const;
 
-  /// True once every row is marked checked.
-  bool FullyChecked() const;
+  /// True once every live row is marked checked (syncs with pending table
+  /// deltas first, so freshly appended rows count as unchecked).
+  bool FullyChecked();
 
   size_t num_partitions() const { return boundaries_.size(); }
 
@@ -175,6 +217,15 @@ class ThetaJoinDetector {
   };
 
   void EnsureFresh();
+  /// Coverage reset shared by the constructor and the content-change path:
+  /// everything unchecked except tombstones, delete log consumed, no rows
+  /// owing an integration pass, maintained set empty.
+  void ResetCoverage();
+  void MergeIntoMaintained(const std::vector<ViolationPair>& found);
+  /// Integrates appended rows [integrated_rows_, end) — the DetectDelta
+  /// core, shared with the auto-drain DetectAll/DetectIncremental run
+  /// first. Appends to pairs_checked_.
+  std::vector<ViolationPair> DrainAppends(RowId end);
   void BuildPartitions();
   void CompileAtoms(ColumnCache& cache);
   void BuildRangeIndex();
@@ -200,9 +251,20 @@ class ThetaJoinDetector {
 
   size_t sort_column_ = 0;             ///< primary inequality attribute
   size_t sort_slot_ = 0;               ///< its slot in involved_columns()
-  std::vector<RowId> sorted_;          ///< all rows, sorted by sort_column_
+  std::vector<RowId> sorted_;          ///< live rows, sorted by sort_column_
   std::vector<PartitionStats> boundaries_;
   std::vector<bool> checked_;          ///< row id -> cross-checked?
+  /// Violations among covered rows, sorted by (t1, t2); see
+  /// maintained_violations().
+  std::vector<ViolationPair> maintained_;
+  /// Pairs deletions pruned from maintained_ since ConsumeRetractions.
+  size_t retractions_ = 0;
+  /// Prefix of the table's deleted-rows log already folded into the state.
+  size_t deleted_log_pos_ = 0;
+  /// Rows below this id are integrated: cross-checked against the checked
+  /// set (or known-unchecked). Rows at or above arrived later and still
+  /// owe their new x old pass.
+  RowId integrated_rows_ = 0;
 
   // Flat-array state, rebuilt whenever an involved column's storage or
   // content moves (see EnsureFresh). cols_ is indexed by involved-column

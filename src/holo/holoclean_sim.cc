@@ -61,6 +61,7 @@ std::vector<Value> HoloCleanSim::GenerateDomain(RowId row, size_t col) {
     std::unordered_map<Value, size_t, ValueHash> hist;
     size_t total = 0;
     for (RowId r = 0; r < table_->num_rows(); ++r) {
+      if (!table_->is_live(r)) continue;
       if (!(table_->cell(r, other).original() == anchor)) continue;
       hist[table_->cell(r, col).original()] += 1;
       ++total;
@@ -105,6 +106,7 @@ Value HoloCleanSim::Infer(RowId row, size_t col,
     std::unordered_map<Value, size_t, ValueHash> hist;
     size_t total = 0;
     for (RowId r = 0; r < table_->num_rows(); ++r) {
+      if (!table_->is_live(r)) continue;
       if (!(table_->cell(r, other).original() == anchor)) continue;
       ++total;
       hist[table_->cell(r, col).original()] += 1;

@@ -54,6 +54,7 @@ Result<OfflineCleanStats> OfflineCleaner::CleanFd(const DenialConstraint& dc) {
     }
     ++stats.dataset_passes;
     for (RowId r = 0; r < table->num_rows(); ++r) {
+      if (!table->is_live(r)) continue;
       const Value& rv = table->cell(r, fd.rhs).original();
       auto it = lhs_by_rhs.find(rv);
       if (it == lhs_by_rhs.end()) continue;

@@ -35,19 +35,21 @@ std::string ScanNode::Label() const {
 
 Status ScanNode::Open(ExecContext* ctx) {
   pos_ = 0;
-  ctx->rows_scanned += table_->num_rows();
+  ctx->rows_scanned += table_->num_live_rows();
   return Status::OK();
 }
 
 Result<bool> ScanNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
   const size_t n = table_->num_rows();
   if (pos_ >= n) return false;
-  const size_t count = std::min(ctx->batch_size, n - pos_);
   out->clear();
-  out->reserve(count);
-  for (size_t i = 0; i < count; ++i) out->push_back(pos_ + i);
-  pos_ += count;
-  stats_.rows_out += count;
+  out->reserve(std::min(ctx->batch_size, n - pos_));
+  // Tombstoned rows are invisible to every operator above the scan.
+  while (pos_ < n && out->size() < ctx->batch_size) {
+    if (table_->is_live(pos_)) out->push_back(pos_);
+    ++pos_;
+  }
+  stats_.rows_out += out->size();
   ++stats_.batches;
   return true;
 }
@@ -147,6 +149,8 @@ Status CleanSelectNode::Open(ExecContext* ctx) {
   cs.errors_fixed += cres.errors_fixed;
   cs.tuples_scanned += cres.tuples_scanned;
   cs.detect_ops += cres.detect_ops;
+  cs.delta_rows_checked += cres.delta_rows_checked;
+  stats_.delta_rows_checked = cres.delta_rows_checked;
   cs.used_dc_full_clean |= cres.used_full_clean;
   cs.min_estimated_accuracy =
       std::min(cs.min_estimated_accuracy, cres.estimated_accuracy);
@@ -159,7 +163,7 @@ Status CleanSelectNode::Open(ExecContext* ctx) {
       rule_stats_ != nullptr ? rule_stats_->avg_candidates : 2.0;
   if (!cres.pruned) {
     QueryCostSample sample;
-    sample.dataset_size = table_->num_rows();
+    sample.dataset_size = table_->num_live_rows();
     sample.result_size = rows.size();
     sample.extra_size = cres.extra_tuples;
     sample.errors = cres.errors_fixed;
@@ -170,11 +174,11 @@ Status CleanSelectNode::Open(ExecContext* ctx) {
   if (adaptive_ && !op_->fully_checked()) {
     const size_t epsilon = rule_stats_ != nullptr
                                ? rule_stats_->num_violating_rows
-                               : table_->num_rows() / 10;
+                               : table_->num_live_rows() / 10;
     const size_t groups = rule_stats_ != nullptr
                               ? rule_stats_->num_violating_groups
                               : std::max<size_t>(1, epsilon / 10);
-    if (cost_->ShouldSwitchToFull(table_->num_rows(), groups, epsilon,
+    if (cost_->ShouldSwitchToFull(table_->num_live_rows(), groups, epsilon,
                                   width)) {
       DAISY_ASSIGN_OR_RETURN(CleanSelectResult fres,
                              op_->CleanRemaining(options_));
@@ -312,6 +316,9 @@ void RenderNode(const PlanNode& node, size_t depth, bool executed,
   *oss << node.Label();
   if (executed) {
     *oss << " rows=" << node.stats().rows_out;
+    if (node.stats().delta_rows_checked > 0) {
+      *oss << " delta rows checked: " << node.stats().delta_rows_checked;
+    }
     if (node.stats().pruned) *oss << " pruned";
     if (node.stats().switched_to_full) *oss << " switched-to-full";
   }

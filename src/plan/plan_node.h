@@ -41,6 +41,7 @@ struct CleaningExecStats {
   size_t detect_ops = 0;
   size_t rules_applied = 0;
   size_t rules_pruned = 0;
+  size_t delta_rows_checked = 0;  ///< ingested rows settled by this query
   bool switched_to_full = false;
   bool used_dc_full_clean = false;
   double min_estimated_accuracy = 1.0;
@@ -71,6 +72,7 @@ class PlanNode {
     size_t rows_in = 0;
     size_t rows_out = 0;
     size_t batches = 0;
+    size_t delta_rows_checked = 0;  ///< CleanSelect: ingested rows settled
     bool pruned = false;            ///< CleanSelect skipped cleaning
     bool switched_to_full = false;  ///< cost model fired at this node
   };

@@ -1,5 +1,6 @@
 #include "relax/relaxation.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "detect/group_by.h"
@@ -76,8 +77,34 @@ FdRelaxIndex::FdRelaxIndex(const Table& table, const FdView& fd) {
   by_lhs_.reserve(table.num_rows());
   by_rhs_.reserve(table.num_rows());
   for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (!table.is_live(r)) continue;
     by_lhs_[MakeGroupKey(table, r, fd.lhs)].push_back(r);
     by_rhs_[table.cell(r, fd.rhs).original()].push_back(r);
+  }
+}
+
+void FdRelaxIndex::ApplyDelta(const Table& table, const FdView& fd,
+                              const TableDelta& delta) {
+  for (RowId r : delta.appended) {
+    if (!table.is_live(r)) continue;
+    by_lhs_[MakeGroupKey(table, r, fd.lhs)].push_back(r);
+    by_rhs_[table.cell(r, fd.rhs).original()].push_back(r);
+  }
+  auto drop = [](std::vector<RowId>* bucket, RowId r) {
+    auto it = std::find(bucket->begin(), bucket->end(), r);
+    if (it != bucket->end()) bucket->erase(it);
+  };
+  for (RowId r : delta.deleted) {
+    auto lhs_it = by_lhs_.find(MakeGroupKey(table, r, fd.lhs));
+    if (lhs_it != by_lhs_.end()) {
+      drop(&lhs_it->second, r);
+      if (lhs_it->second.empty()) by_lhs_.erase(lhs_it);
+    }
+    auto rhs_it = by_rhs_.find(table.cell(r, fd.rhs).original());
+    if (rhs_it != by_rhs_.end()) {
+      drop(&rhs_it->second, r);
+      if (rhs_it->second.empty()) by_rhs_.erase(rhs_it);
+    }
   }
 }
 

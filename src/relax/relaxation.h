@@ -50,7 +50,14 @@ RelaxResult RelaxFdResult(const Table& table, const DenialConstraint& dc,
 /// statistics of Section 6.
 class FdRelaxIndex {
  public:
+  /// Indexes the live rows of `table` (tombstones are skipped).
   FdRelaxIndex(const Table& table, const FdView& fd);
+
+  /// Folds one ingest batch in: appended live rows join their buckets (ids
+  /// stay ascending within each bucket, matching a fresh build), deleted
+  /// rows leave theirs. O(|delta|) bucket lookups plus the erase scans.
+  void ApplyDelta(const Table& table, const FdView& fd,
+                  const TableDelta& delta);
 
   /// Dirty-group evidence for the restricted closure: lhs keys of
   /// violating groups and rhs values observed inside them.

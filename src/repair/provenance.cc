@@ -129,6 +129,48 @@ void ProvenanceStore::MergeFrom(const ProvenanceStore& other,
   }
 }
 
+void ProvenanceStore::DropRows(const std::vector<RowId>& rows) {
+  for (RowId r : rows) {
+    // records_ is ordered by (row, col): erase the row's contiguous range.
+    auto first = records_.lower_bound({r, 0});
+    auto last = records_.lower_bound({r + 1, 0});
+    records_.erase(first, last);
+  }
+}
+
+// Removes `rule`'s records from one cell entry, rebuilding the cell if
+// anything was removed; returns the iterator past the (possibly erased)
+// entry. Shared by the rule-wide and per-row retraction paths.
+std::map<ProvenanceStore::CellKey, std::vector<RepairRecord>>::iterator
+ProvenanceStore::PruneRuleFromEntry(
+    Table* table,
+    std::map<CellKey, std::vector<RepairRecord>>::iterator it,
+    const std::string& rule) {
+  std::vector<RepairRecord>& recs = it->second;
+  const size_t before = recs.size();
+  recs.erase(std::remove_if(
+                 recs.begin(), recs.end(),
+                 [&](const RepairRecord& rec) { return rec.rule == rule; }),
+             recs.end());
+  if (recs.size() != before) {
+    RebuildCell(table, it->first.first, it->first.second);
+  }
+  return recs.empty() ? records_.erase(it) : std::next(it);
+}
+
+void ProvenanceStore::DropRule(Table* table, const std::string& rule) {
+  auto it = records_.begin();
+  while (it != records_.end()) it = PruneRuleFromEntry(table, it, rule);
+}
+
+void ProvenanceStore::DropRuleRecords(Table* table, RowId row,
+                                      const std::string& rule) {
+  auto it = records_.lower_bound({row, 0});
+  while (it != records_.end() && it->first.first == row) {
+    it = PruneRuleFromEntry(table, it, rule);
+  }
+}
+
 void ProvenanceStore::RebuildCell(Table* table, RowId row, size_t col) const {
   auto it = records_.find({row, col});
   Cell& cell = table->mutable_cell(row, col);

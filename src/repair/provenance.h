@@ -70,6 +70,25 @@ class ProvenanceStore {
   /// sessions when rules arrive incrementally (Table 7).
   void MergeFrom(const ProvenanceStore& other, Table* table);
 
+  /// Forgets every record of the given (tombstoned) rows. The dead cells
+  /// themselves are left untouched — they are invisible to queries and
+  /// detectors, and their storage is provenance.
+  void DropRows(const std::vector<RowId>& rows);
+
+  /// Removes `rule`'s records on every cell of `row` and rebuilds those
+  /// cells. The ingest path calls this when new data invalidates the
+  /// Lemma-1 completeness of the row's earlier group-based fixes — the
+  /// next query touching the row recomputes them from fresh evidence
+  /// (records of other rules are kept and keep contributing).
+  void DropRuleRecords(Table* table, RowId row, const std::string& rule);
+
+  /// Removes every record `rule` contributed anywhere in the table and
+  /// rebuilds the affected cells. The DC ingest path uses this when a
+  /// deletion retracted violating pairs: the rule's accumulated pair
+  /// evidence is not separable per pair, so its fixes are re-derived
+  /// wholesale from the surviving violation set.
+  void DropRule(Table* table, const std::string& rule);
+
   /// Number of distinct cells with at least one record.
   size_t NumRepairedCells() const { return records_.size(); }
 
@@ -80,8 +99,13 @@ class ProvenanceStore {
 
   void Clear() { records_.clear(); }
 
- private:
   using CellKey = std::pair<RowId, size_t>;
+
+ private:
+  std::map<CellKey, std::vector<RepairRecord>>::iterator PruneRuleFromEntry(
+      Table* table, std::map<CellKey, std::vector<RepairRecord>>::iterator it,
+      const std::string& rule);
+
   std::map<CellKey, std::vector<RepairRecord>> records_;
 };
 

@@ -23,17 +23,57 @@ double ColumnCache::NumericCoord(const Value& v) {
 
 namespace {
 
-bool SameContent(const ColumnCache::Column& a, const ColumnCache::Column& b) {
-  // codes + dict determine ranks/sorted_*; num/nulls are re-derivable from
-  // dict too, but comparing them keeps this robust to formula changes.
-  return a.nulls == b.nulls && a.codes == b.codes && a.num == b.num &&
-         a.dict == b.dict;
+// Did the rebuild change the projection of any *previously built* row?
+// Appended rows extend the arrays (and may extend the dictionary) without
+// counting as a content change — consumers key coverage to `generation`
+// and handle row growth through their own append path, so a rebuild that
+// merely picked up new rows (e.g. a candidate-only repair interleaved with
+// an ingest batch) must not reset their state. codes + dict determine
+// ranks/sorted_*; num/nulls are re-derivable from dict too, but comparing
+// them keeps this robust to formula changes.
+bool PrefixUnchanged(const ColumnCache::Column& prev,
+                     const ColumnCache::Column& next) {
+  const size_t n = prev.nulls.size();
+  if (next.nulls.size() < n) return false;
+  return std::equal(prev.nulls.begin(), prev.nulls.end(),
+                    next.nulls.begin()) &&
+         std::equal(prev.codes.begin(), prev.codes.end(),
+                    next.codes.begin()) &&
+         std::equal(prev.num.begin(), prev.num.end(), next.num.begin()) &&
+         prev.dict.size() <= next.dict.size() &&
+         std::equal(prev.dict.begin(), prev.dict.end(), next.dict.begin());
 }
 
 }  // namespace
 
+// Recomputes the dense rank relabeling (code -> rank, sorted_distinct,
+// per-row ranks) from the slot's dictionary and codes. Distinct-under-
+// Equals values never tie under Compare (NaN aside), but break ties by
+// code for determinism anyway.
+void ColumnCache::AssignRanks(Slot* slot) {
+  Column& col = slot->col;
+  std::vector<uint32_t> order(col.dict.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const int cmp = col.dict[a].Compare(col.dict[b]);
+    if (cmp != 0) return cmp < 0;
+    return a < b;
+  });
+  slot->rank_of_code.assign(col.dict.size(), 0);
+  col.sorted_distinct.clear();
+  col.sorted_distinct.reserve(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    slot->rank_of_code[order[i]] = i;
+    col.sorted_distinct.push_back(col.dict[order[i]]);
+  }
+  col.ranks.clear();
+  col.ranks.reserve(col.codes.size());
+  for (uint32_t code : col.codes) col.ranks.push_back(slot->rank_of_code[code]);
+}
+
 void ColumnCache::Rebuild(size_t c) {
   const size_t n = table_->num_rows();
+  Slot& slot = slots_[c];
   Column fresh;
   fresh.num.reserve(n);
   fresh.codes.reserve(n);
@@ -56,27 +96,6 @@ void ColumnCache::Rebuild(size_t c) {
     fresh.codes.push_back(it->second);
   }
 
-  // Dense ranks: order the dictionary by Value::Compare. Distinct-under-
-  // Equals values never tie under Compare (NaN aside), but break ties by
-  // code for determinism anyway.
-  std::vector<uint32_t> order(fresh.dict.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    const int cmp = fresh.dict[a].Compare(fresh.dict[b]);
-    if (cmp != 0) return cmp < 0;
-    return a < b;
-  });
-  std::vector<uint32_t> rank_of_code(fresh.dict.size());
-  fresh.sorted_distinct.reserve(order.size());
-  for (uint32_t i = 0; i < order.size(); ++i) {
-    rank_of_code[order[i]] = i;
-    fresh.sorted_distinct.push_back(fresh.dict[order[i]]);
-  }
-  fresh.ranks.reserve(n);
-  for (RowId r = 0; r < n; ++r) {
-    fresh.ranks.push_back(rank_of_code[fresh.codes[r]]);
-  }
-
   // Sorted index over the numeric projection, row id as tiebreak — the
   // exact comparator the theta-join detector has always partitioned with.
   fresh.sorted_rows.resize(n);
@@ -91,12 +110,70 @@ void ColumnCache::Rebuild(size_t c) {
   fresh.sorted_num.reserve(n);
   for (RowId r : fresh.sorted_rows) fresh.sorted_num.push_back(fresh.num[r]);
 
-  Slot& slot = slots_[c];
-  const bool unchanged = slot.built && SameContent(slot.col, fresh);
+  const bool unchanged = slot.built && PrefixUnchanged(slot.col, fresh);
   fresh.generation = unchanged ? slot.col.generation : slot.col.generation + 1;
   slot.col = std::move(fresh);
+  slot.dict_index = std::move(dict_index);
+  AssignRanks(&slot);
   slot.built = true;
-  slot.built_version = table_->column_version(c);
+  slot.built_content_version = table_->content_version(c);
+  slot.built_rows = n;
+}
+
+// Append-only extension: rows [built_rows, num_rows) join the projections
+// in O(delta) (plus one O(n) merge pass for the sorted index and, only when
+// the delta introduced a new distinct value, an O(n) rank relabel). The
+// content `generation` deliberately stays put — the prefix the consumers'
+// derived state was computed on is unchanged.
+void ColumnCache::Extend(size_t c) {
+  const size_t n = table_->num_rows();
+  Slot& slot = slots_[c];
+  Column& col = slot.col;
+  const size_t old_n = slot.built_rows;
+  bool new_distinct = false;
+  for (RowId r = old_n; r < n; ++r) {
+    const Cell& cell = table_->cell(r, c);
+    const Value& v = cell.original();
+    col.probs.push_back(cell.is_probabilistic() ? 1 : 0);
+    col.nulls.push_back(v.is_null() ? 1 : 0);
+    if (v.is_null()) col.has_nulls = true;
+    if (!v.is_null() && !v.is_numeric()) col.numeric_only = false;
+    col.num.push_back(NumericCoord(v));
+    auto [it, inserted] =
+        slot.dict_index.emplace(v, static_cast<uint32_t>(col.dict.size()));
+    if (inserted) {
+      col.dict.push_back(v);
+      new_distinct = true;
+    }
+    col.codes.push_back(it->second);
+  }
+
+  if (new_distinct) {
+    // A fresh value can rank anywhere in the Compare order: relabel.
+    AssignRanks(&slot);
+  } else {
+    for (RowId r = old_n; r < n; ++r) {
+      col.ranks.push_back(slot.rank_of_code[col.codes[r]]);
+    }
+  }
+
+  // Merge the sorted new tail into the sorted index.
+  const size_t old_sorted = col.sorted_rows.size();
+  for (RowId r = old_n; r < n; ++r) col.sorted_rows.push_back(r);
+  const auto by_num_then_id = [&](RowId a, RowId b) {
+    if (col.num[a] != col.num[b]) return col.num[a] < col.num[b];
+    return a < b;
+  };
+  std::sort(col.sorted_rows.begin() + old_sorted, col.sorted_rows.end(),
+            by_num_then_id);
+  std::inplace_merge(col.sorted_rows.begin(),
+                     col.sorted_rows.begin() + old_sorted,
+                     col.sorted_rows.end(), by_num_then_id);
+  col.sorted_num.clear();
+  col.sorted_num.reserve(n);
+  for (RowId r : col.sorted_rows) col.sorted_num.push_back(col.num[r]);
+
+  slot.built_rows = n;
 }
 
 size_t ColumnCache::EnsureBuilt(const std::vector<size_t>& cols) {
@@ -107,8 +184,11 @@ size_t ColumnCache::EnsureBuilt(const std::vector<size_t>& cols) {
 const ColumnCache::Column& ColumnCache::column(size_t c) {
   if (c >= slots_.size()) slots_.resize(table_->num_columns());
   Slot& slot = slots_[c];
-  if (!slot.built || slot.built_version != table_->column_version(c)) {
+  if (!slot.built ||
+      slot.built_content_version != table_->content_version(c)) {
     Rebuild(c);
+  } else if (slot.built_rows < table_->num_rows()) {
+    Extend(c);
   }
   return slot.col;
 }

@@ -26,15 +26,26 @@
 //               aligned projections, serving the detector's partition sort
 //               and binary-search range counts.
 //
-// Invalidation protocol: Table bumps a per-column version on every mutable
-// cell access (conservative — attaching repair candidates bumps it too even
-// though detection reads originals). On the next access the cache rebuilds
-// the column and compares content against the previous build; `generation`
-// advances only if the data actually changed. Consumers that keep derived
-// state (partition boundaries, checked-row sets) key it to `generation`, so
-// candidate-only repairs rebuild the projection without discarding
-// incremental detection coverage, while an original-value edit invalidates
-// everything that depends on the column.
+// Invalidation protocol: Table bumps a per-column *content* version on
+// every mutable cell access (conservative — attaching repair candidates
+// bumps it too even though detection reads originals). On the next access
+// the cache rebuilds the column and compares content against the previous
+// build; `generation` advances only if the data actually changed. Consumers
+// that keep derived state (partition boundaries, checked-row sets) key it
+// to `generation`, so candidate-only repairs rebuild the projection without
+// discarding incremental detection coverage, while an original-value edit
+// invalidates everything that depends on the column.
+//
+// Appends are NOT content changes: when the table grew but the column's
+// content version did not move, the projections are *extended* in O(delta)
+// — new rows join num/codes/nulls/probs and the dictionary directly; the
+// sorted index merges the (sorted) new tail in one pass; ranks extend by
+// table lookup unless the delta introduced a new distinct value (then the
+// dense rank relabeling is recomputed — O(n), no value re-read). The
+// content `generation` stays put, so delta-aware detectors keep their
+// coverage across ingest batches. Deletes never touch the cache at all:
+// the arrays keep tombstoned rows in place (row-id alignment) and
+// consumers filter through Table::is_live.
 //
 // Not thread-safe: build the needed columns single-threaded (one
 // `column(c)` call per column), then share the returned arrays read-only
@@ -44,6 +55,7 @@
 #define DAISY_STORAGE_COLUMN_CACHE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/value.h"
@@ -70,7 +82,9 @@ class ColumnCache {
     std::vector<double> sorted_num;      ///< num aligned with sorted_rows
     bool numeric_only = true;  ///< every non-null value is numeric
     bool has_nulls = false;    ///< some value is null
-    /// Advances only when a rebuild produced different content.
+    /// Advances only when a rebuild changed the projection of a previously
+    /// built row — appends (pure extensions, or rebuilds that merely picked
+    /// up new rows) keep it, so detector coverage survives ingest batches.
     uint64_t generation = 0;
   };
 
@@ -107,11 +121,19 @@ class ColumnCache {
  private:
   struct Slot {
     Column col;
-    uint64_t built_version = 0;
+    uint64_t built_content_version = 0;  ///< Table::content_version at build
+    size_t built_rows = 0;               ///< physical rows covered
     bool built = false;
+    // Incremental-extension state: the value -> code map and the code ->
+    // rank relabeling of the last (re)build, so appends avoid re-deriving
+    // them from the dictionary.
+    std::unordered_map<Value, uint32_t, ValueHash> dict_index;
+    std::vector<uint32_t> rank_of_code;
   };
 
   void Rebuild(size_t c);
+  void Extend(size_t c);
+  static void AssignRanks(Slot* slot);
 
   const Table* table_;
   std::vector<Slot> slots_;

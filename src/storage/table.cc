@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/csv.h"
@@ -19,7 +20,12 @@ Table::Table(const Table& other)
       schema_(other.schema_),
       rows_(other.rows_),
       version_(other.version_),
-      column_versions_(other.column_versions_) {}
+      column_versions_(other.column_versions_),
+      append_version_(other.append_version_),
+      delta_generation_(other.delta_generation_),
+      live_(other.live_),
+      num_dead_(other.num_dead_),
+      deleted_log_(other.deleted_log_) {}
 
 Table& Table::operator=(const Table& other) {
   if (this == &other) return *this;
@@ -28,6 +34,11 @@ Table& Table::operator=(const Table& other) {
   rows_ = other.rows_;
   version_ = other.version_;
   column_versions_ = other.column_versions_;
+  append_version_ = other.append_version_;
+  delta_generation_ = other.delta_generation_;
+  live_ = other.live_;
+  num_dead_ = other.num_dead_;
+  deleted_log_ = other.deleted_log_;
   cache_.reset();  // held a pointer to *this with the old contents
   return *this;
 }
@@ -37,7 +48,12 @@ Table::Table(Table&& other) noexcept
       schema_(std::move(other.schema_)),
       rows_(std::move(other.rows_)),
       version_(other.version_),
-      column_versions_(std::move(other.column_versions_)) {
+      column_versions_(std::move(other.column_versions_)),
+      append_version_(other.append_version_),
+      delta_generation_(other.delta_generation_),
+      live_(std::move(other.live_)),
+      num_dead_(other.num_dead_),
+      deleted_log_(std::move(other.deleted_log_)) {
   // other.cache_ points at `other`; never adopt it.
   other.cache_.reset();
 }
@@ -49,6 +65,11 @@ Table& Table::operator=(Table&& other) noexcept {
   rows_ = std::move(other.rows_);
   version_ = other.version_;
   column_versions_ = std::move(other.column_versions_);
+  append_version_ = other.append_version_;
+  delta_generation_ = other.delta_generation_;
+  live_ = std::move(other.live_);
+  num_dead_ = other.num_dead_;
+  deleted_log_ = std::move(other.deleted_log_);
   cache_.reset();
   other.cache_.reset();
   return *this;
@@ -96,26 +117,95 @@ Status Table::AppendRow(std::vector<Value> values) {
     row.cells.emplace_back(std::move(values[i]));
   }
   rows_.push_back(std::move(row));
-  BumpAllColumns();
+  BumpAppend();
   return Status::OK();
 }
 
 RowId Table::AppendRowUnchecked(Row row) {
   rows_.push_back(std::move(row));
-  BumpAllColumns();
+  BumpAppend();
   return rows_.size() - 1;
 }
 
+Result<TableDelta> Table::AppendRows(std::vector<std::vector<Value>> rows) {
+  // Validate the whole batch before applying any row (all-or-nothing).
+  std::vector<Row> staged;
+  staged.reserve(rows.size());
+  for (std::vector<Value>& values : rows) {
+    if (values.size() != schema_.num_columns()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(values.size()) + " != schema arity " +
+          std::to_string(schema_.num_columns()) + " for table " + name_);
+    }
+    Row row;
+    row.cells.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!TypeCompatible(values[i], schema_.column(i).type)) {
+        return Status::TypeMismatch(
+            "value '" + values[i].ToString() + "' does not match column " +
+            schema_.column(i).name + ":" +
+            ValueTypeToString(schema_.column(i).type));
+      }
+      row.cells.emplace_back(std::move(values[i]));
+    }
+    staged.push_back(std::move(row));
+  }
+  TableDelta delta;
+  delta.appended.reserve(staged.size());
+  for (Row& row : staged) {
+    delta.appended.push_back(rows_.size());
+    rows_.push_back(std::move(row));
+    ++append_version_;
+  }
+  ++delta_generation_;
+  delta.generation = delta_generation_;
+  return delta;
+}
+
+Result<TableDelta> Table::DeleteRows(std::vector<RowId> ids) {
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const RowId r = ids[i];
+    if (r >= rows_.size()) {
+      return Status::InvalidArgument("delete of out-of-range row " +
+                                     std::to_string(r) + " in table " + name_);
+    }
+    if (!is_live(r)) {
+      return Status::InvalidArgument("delete of already-deleted row " +
+                                     std::to_string(r) + " in table " + name_);
+    }
+    if (i > 0 && ids[i - 1] == r) {
+      return Status::InvalidArgument("duplicate row " + std::to_string(r) +
+                                     " in delete batch for table " + name_);
+    }
+  }
+  if (live_.size() < rows_.size()) live_.resize(rows_.size(), 1);
+  for (RowId r : ids) {
+    live_[r] = 0;
+    ++num_dead_;
+    deleted_log_.push_back(r);
+  }
+  ++delta_generation_;
+  TableDelta delta;
+  delta.generation = delta_generation_;
+  delta.deleted = std::move(ids);
+  return delta;
+}
+
 std::vector<RowId> Table::AllRowIds() const {
-  std::vector<RowId> ids(rows_.size());
-  for (size_t i = 0; i < rows_.size(); ++i) ids[i] = i;
+  std::vector<RowId> ids;
+  ids.reserve(num_live_rows());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (is_live(i)) ids.push_back(i);
+  }
   return ids;
 }
 
 size_t Table::CountProbabilisticCells() const {
   size_t n = 0;
-  for (const Row& r : rows_) {
-    for (const Cell& c : r.cells) {
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    if (!is_live(r)) continue;
+    for (const Cell& c : rows_[r].cells) {
       if (c.is_probabilistic()) ++n;
     }
   }
@@ -124,8 +214,9 @@ size_t Table::CountProbabilisticCells() const {
 
 size_t Table::TotalCandidateWidth() const {
   size_t n = 0;
-  for (const Row& r : rows_) {
-    for (const Cell& c : r.cells) n += c.width();
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    if (!is_live(r)) continue;
+    for (const Cell& c : rows_[r].cells) n += c.width();
   }
   return n;
 }
@@ -173,10 +264,13 @@ Status Table::ToCsv(const std::string& path) const {
   std::vector<std::string> header;
   for (const Column& c : schema_.columns()) header.push_back(c.name);
   rows.push_back(std::move(header));
-  for (const Row& r : rows_) {
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    if (!is_live(r)) continue;
     std::vector<std::string> fields;
-    fields.reserve(r.cells.size());
-    for (const Cell& c : r.cells) fields.push_back(c.MostProbable().ToString());
+    fields.reserve(rows_[r].cells.size());
+    for (const Cell& c : rows_[r].cells) {
+      fields.push_back(c.MostProbable().ToString());
+    }
     rows.push_back(std::move(fields));
   }
   return WriteCsvFile(path, rows);
@@ -184,11 +278,13 @@ Status Table::ToCsv(const std::string& path) const {
 
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream oss;
-  oss << name_ << " " << schema_.ToString() << " rows=" << rows_.size()
-      << "\n";
+  oss << name_ << " " << schema_.ToString() << " rows=" << rows_.size();
+  if (num_dead_ > 0) oss << " (" << num_dead_ << " deleted)";
+  oss << "\n";
   const size_t limit = std::min(max_rows, rows_.size());
   for (size_t r = 0; r < limit; ++r) {
     oss << "  [" << r << "]";
+    if (!is_live(r)) oss << " <deleted>";
     for (const Cell& c : rows_[r].cells) oss << " " << c.ToString();
     oss << "\n";
   }

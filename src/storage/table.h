@@ -1,9 +1,22 @@
 // Row-store table over probabilistic cells.
 //
-// Rows have stable ids (their position; rows are never deleted, matching the
-// paper's in-place probabilistic updates). The original cell values survive
-// every repair as provenance, so late-arriving rules can re-derive fixes
-// from the raw data (Table 7 experiment).
+// Rows have stable ids (their position; a deleted row becomes a tombstone,
+// its id is never reused, matching the paper's in-place probabilistic
+// updates). The original cell values survive every repair as provenance, so
+// late-arriving rules can re-derive fixes from the raw data (Table 7
+// experiment).
+//
+// Ingest is transactional and delta-aware: AppendRows/DeleteRows apply one
+// batch atomically and return a TableDelta naming the affected row ids.
+// Two independent generation families let derived state react minimally:
+//
+//  * content_version(c) moves only when an existing cell of column `c` may
+//    have changed in place (mutable access, ResetToOriginal) — the
+//    ColumnCache rebuilds the column from scratch and its content
+//    generation may advance, discarding detector coverage;
+//  * delta_generation() moves on every append/delete batch — appends extend
+//    the derived projections in O(delta) and deletes only flip the live
+//    mask, so delta-aware detectors keep their coverage.
 
 #ifndef DAISY_STORAGE_TABLE_H_
 #define DAISY_STORAGE_TABLE_H_
@@ -29,6 +42,17 @@ struct Row {
   std::vector<Cell> cells;
 };
 
+/// One transactional ingest batch: the rows it appended (a contiguous,
+/// ascending id range) and the rows it tombstoned (ascending). Consumers
+/// apply deltas in generation order to maintain derived state in O(delta).
+struct TableDelta {
+  uint64_t generation = 0;  ///< table delta generation after this batch
+  std::vector<RowId> appended;
+  std::vector<RowId> deleted;
+
+  bool empty() const { return appended.empty() && deleted.empty(); }
+};
+
 /// A named relation with probabilistic cells.
 ///
 /// Every mutable access path bumps a per-column version counter so the
@@ -51,8 +75,17 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
+  /// Physical row count, tombstones included (row ids range over it).
   size_t num_rows() const { return rows_.size(); }
+  /// Rows not deleted yet — the logical relation size.
+  size_t num_live_rows() const { return rows_.size() - num_dead_; }
   size_t num_columns() const { return schema_.num_columns(); }
+
+  /// False once the row was deleted. Tombstoned cells stay readable (their
+  /// storage is never reclaimed) but no query/detector visits them.
+  bool is_live(RowId r) const {
+    return r >= live_.size() || live_[r] != 0;
+  }
 
   const Row& row(RowId r) const { return rows_[r]; }
   Row& mutable_row(RowId r) {
@@ -65,11 +98,24 @@ class Table {
     return rows_[r].cells[c];
   }
 
-  /// Mutation counter of column `c`; moves on every mutable access that may
-  /// touch the column (including whole-table operations like AppendRow).
-  uint64_t column_version(size_t c) const {
+  /// In-place mutation counter of column `c`: moves only when an *existing*
+  /// cell may have changed (mutable access, ResetToOriginal) — appends and
+  /// deletes deliberately do not move it, so append-only deltas keep the
+  /// derived columnar projections extendable in O(delta).
+  uint64_t content_version(size_t c) const {
     return version_ + (c < column_versions_.size() ? column_versions_[c] : 0);
   }
+
+  /// Moves once per appended row (all append paths).
+  uint64_t append_version() const { return append_version_; }
+
+  /// Moves on every ingest batch (append or delete).
+  uint64_t delta_generation() const { return delta_generation_; }
+
+  /// Every tombstoned row id, in deletion order. Grows monotonically;
+  /// delta-aware consumers remember the prefix they consumed and catch up
+  /// from there in O(new deletions).
+  const std::vector<RowId>& deleted_rows_log() const { return deleted_log_; }
 
   /// Lazily-built columnar projections of this table (flat typed arrays,
   /// dictionary codes, sorted indexes). Logically const: derived data only.
@@ -82,9 +128,23 @@ class Table {
   /// Appends a pre-built (possibly probabilistic) row without type checks.
   RowId AppendRowUnchecked(Row row);
 
+  /// Transactional batch append: every row is validated (arity + type class
+  /// per column, as AppendRow) before any row is applied, so a failure
+  /// leaves the table untouched. On success returns the delta describing
+  /// the new contiguous id range.
+  Result<TableDelta> AppendRows(std::vector<std::vector<Value>> rows);
+
+  /// Transactional batch delete: every id must be in range, live, and
+  /// distinct, or the whole batch is rejected. Rows become tombstones —
+  /// ids stay stable and storage is retained as provenance. Tables managed
+  /// by a DaisyEngine should be deleted from through
+  /// DaisyEngine::DeleteRows, which also retracts repairs whose evidence
+  /// the deletion removed; detectors self-heal coverage either way.
+  Result<TableDelta> DeleteRows(std::vector<RowId> ids);
+
   void Reserve(size_t n) { rows_.reserve(n); }
 
-  /// All row ids, 0..num_rows-1.
+  /// All live row ids, ascending.
   std::vector<RowId> AllRowIds() const;
 
   /// Number of cells that currently carry candidate sets.
@@ -115,12 +175,21 @@ class Table {
     ++column_versions_[c];
   }
   void BumpAllColumns() { ++version_; }
+  void BumpAppend() {
+    ++append_version_;
+    ++delta_generation_;
+  }
 
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
-  uint64_t version_ = 0;  ///< whole-table mutations (appends, row access)
+  uint64_t version_ = 0;  ///< whole-row content mutations (mutable_row etc.)
   std::vector<uint64_t> column_versions_;  ///< per-column cell mutations
+  uint64_t append_version_ = 0;       ///< rows appended
+  uint64_t delta_generation_ = 0;     ///< ingest batches applied
+  std::vector<uint8_t> live_;         ///< tombstone mask; empty = all live
+  size_t num_dead_ = 0;               ///< count of tombstoned rows
+  std::vector<RowId> deleted_log_;    ///< tombstoned ids, deletion order
   mutable std::unique_ptr<ColumnCache> cache_;  ///< derived, built on demand
 };
 

@@ -90,14 +90,17 @@ TEST(ColumnCacheTest, SortedIndexOrdersByProjectionThenRowId) {
 
 TEST(ColumnCacheTest, MutationBumpsOnlyAffectedColumnVersion) {
   Table t = MixedTable();
-  const uint64_t v0 = t.column_version(0);
-  const uint64_t v1 = t.column_version(1);
+  const uint64_t v0 = t.content_version(0);
+  const uint64_t v1 = t.content_version(1);
   t.mutable_cell(2, 0) = Cell(Value(9.0));
-  EXPECT_GT(t.column_version(0), v0);
-  EXPECT_EQ(t.column_version(1), v1);
-  // Appending a row touches every column.
+  EXPECT_GT(t.content_version(0), v0);
+  EXPECT_EQ(t.content_version(1), v1);
+  // Appending a row moves the append family, not the content versions —
+  // the cache extends instead of rebuilding.
+  const uint64_t appends = t.append_version();
   ASSERT_TRUE(t.AppendRow({Value(1.0), Value("X")}).ok());
-  EXPECT_GT(t.column_version(1), v1);
+  EXPECT_GT(t.append_version(), appends);
+  EXPECT_EQ(t.content_version(1), v1);
 }
 
 TEST(ColumnCacheTest, RepairedOriginalIsVisibleAfterInvalidation) {

@@ -111,6 +111,12 @@ ConstraintSet MakeCityRules() {
   return rules;
 }
 
+// The Filter tag in engine-produced plans follows the engine's effective
+// options (the CI ablation leg flips them via DAISY_COLUMNAR_FILTERS).
+std::string FilterTag(const DaisyEngine& engine) {
+  return engine.options().columnar_filters ? "[columnar]" : "[row-path]";
+}
+
 TEST(ExplainTest, CleaningPlanDropsStatisticsPrunedRuleGolden) {
   Database db = MakeCitiesDb();
   DaisyEngine engine(&db, MakeCityRules(), DaisyOptions{});
@@ -123,7 +129,7 @@ TEST(ExplainTest, CleaningPlanDropsStatisticsPrunedRuleGolden) {
   EXPECT_EQ(text,
             "Project [zip, city, state]\n"
             "  CleanSelect [rule=phi fd] [adaptive]\n"
-            "    Filter [cities: zip == 9001] [columnar]\n"
+            "    Filter [cities: zip == 9001] " + FilterTag(engine) + "\n"
             "      Scan [cities]\n");
 }
 
@@ -141,8 +147,36 @@ TEST(ExplainTest, CleaningPlanKeepsRuleWithoutStatisticsPruning) {
             "Project [zip, city, state]\n"
             "  CleanSelect [rule=psi fd] [adaptive]\n"
             "    CleanSelect [rule=phi fd] [adaptive]\n"
-            "      Filter [cities: zip == 9001] [columnar]\n"
+            "      Filter [cities: zip == 9001] " + FilterTag(engine) + "\n"
             "        Scan [cities]\n");
+}
+
+TEST(ExplainTest, ExplainAnalyzeShowsDeltaRowsChecked) {
+  Database db = MakeCitiesDb();
+  DaisyEngine engine(&db, MakeCityRules(), DaisyOptions{});
+  ASSERT_TRUE(engine.Prepare().ok());
+  // Two rows arrive after Prepare; the next executed query settles them and
+  // the executed plan says so on the cleanσ node.
+  ASSERT_TRUE(engine
+                  .AppendRows("cities", {{Value(9001), Value("SD"),
+                                          Value("CA")},
+                                         {Value(10001), Value("NY"),
+                                          Value("NY")}})
+                  .ok());
+  auto text =
+      engine.ExplainAnalyze("SELECT zip, city, state FROM cities WHERE "
+                            "zip = 9001")
+          .ValueOrDie();
+  EXPECT_NE(text.find("CleanSelect [rule=phi fd] [adaptive] rows=3 "
+                      "delta rows checked: 2"),
+            std::string::npos)
+      << text;
+  // The rows are settled exactly once: a second run reports none pending.
+  auto again =
+      engine.ExplainAnalyze("SELECT zip, city, state FROM cities WHERE "
+                            "zip = 9001")
+          .ValueOrDie();
+  EXPECT_EQ(again.find("delta rows checked"), std::string::npos) << again;
 }
 
 TEST(ExplainTest, CleanJoinGolden) {
