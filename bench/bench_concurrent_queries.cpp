@@ -1,0 +1,143 @@
+// Concurrent query serving: read-path throughput at 1/2/4/8 client
+// threads, plus morsel-parallel filter latency at 1/2/4/8 workers.
+//
+// Setup: a 50k-row salary/tax relation under one order DC and one FD,
+// prepared and fully cleaned, so every measured query is quiescent and
+// served under the engine's shared reader lock. Leg 1 hammers the engine
+// from N client threads and reports queries/sec (the 1-thread row is the
+// no-regression baseline against the pre-concurrency engine: same plan,
+// one uncontended shared-lock acquire per query). Leg 2 runs one client
+// with DaisyOptions::query_threads = N so a single heavy scan+filter fans
+// morsels across the worker pool.
+//
+// Wall-clock scaling requires physical cores; on a 1-CPU container the
+// rows stay flat but the protocol overhead is still visible in the
+// 1-thread row.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+using namespace daisy;
+using namespace daisy::bench;
+
+namespace {
+
+constexpr size_t kRows = 50000;
+constexpr size_t kQueriesPerThread = 40;
+
+Table BaseTable(uint64_t seed) {
+  Rng rng(seed);
+  Table t("emp", Schema({{"salary", ValueType::kDouble},
+                         {"tax", ValueType::kDouble},
+                         {"dept", ValueType::kInt}}));
+  t.Reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    const double salary = rng.UniformDouble(1000, 100000);
+    double tax = salary / 200000.0;
+    if (rng.Bernoulli(0.001)) tax += rng.UniformDouble(0.1, 0.5);
+    CheckOk(t.AppendRow({Value(salary), Value(tax),
+                         Value(rng.UniformInt(0, 50))}),
+            "append base row");
+  }
+  return t;
+}
+
+std::unique_ptr<DaisyEngine> MakeCleanEngine(Database* db,
+                                             size_t query_threads) {
+  ConstraintSet rules;
+  const Table* t = UnwrapOrDie(
+      static_cast<const Database*>(db)->GetTable("emp"), "get emp");
+  CheckOk(rules.AddFromText("dc: !(t1.salary < t2.salary & t1.tax > t2.tax)",
+                            "emp", t->schema()),
+          "parse dc");
+  DaisyOptions options;
+  options.theta_partitions = 64;
+  options.query_threads = query_threads;
+  auto engine = std::make_unique<DaisyEngine>(db, std::move(rules), options);
+  CheckOk(engine->Prepare(), "Prepare");
+  CheckOk(engine->CleanAllRemaining(), "CleanAllRemaining");
+  return engine;
+}
+
+std::string QueryFor(size_t i) {
+  // Rotating selectivities so the result sizes vary like a real read mix.
+  static const char* kThresholds[] = {"25000", "50000", "75000", "90000"};
+  return std::string("SELECT salary, tax FROM emp WHERE salary >= ") +
+         kThresholds[i % 4];
+}
+
+void ClientThread(DaisyEngine* engine, size_t* served) {
+  for (size_t i = 0; i < kQueriesPerThread; ++i) {
+    QueryReport report =
+        UnwrapOrDie(engine->Query(QueryFor(i)), "read query");
+    if (!report.read_path) {
+      std::fprintf(stderr, "[bench] query left the shared read path\n");
+      std::exit(1);
+    }
+    ++*served;
+  }
+}
+
+}  // namespace
+
+int main() {
+  WarmupHeap();
+
+  std::printf("# Concurrent read serving: %zu-row table, fully cleaned, "
+              "%zu queries/thread\n",
+              kRows, kQueriesPerThread);
+  std::printf("# %-16s %10s %10s %12s %9s\n", "clients", "queries",
+              "wall_s", "queries/s", "speedup");
+  double base_qps = 0;
+  for (size_t clients : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Database db;
+    CheckOk(db.AddTable(BaseTable(7)), "add table");
+    std::unique_ptr<DaisyEngine> engine = MakeCleanEngine(&db, 1);
+    // One warm query so the first measured one pays no cold output path.
+    (void)UnwrapOrDie(engine->Query(QueryFor(0)), "warm query");
+
+    std::vector<size_t> served(clients, 0);
+    Timer timer;
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      pool.emplace_back(ClientThread, engine.get(), &served[c]);
+    }
+    for (std::thread& t : pool) t.join();
+    const double wall = timer.ElapsedSeconds();
+    size_t total = 0;
+    for (size_t s : served) total += s;
+    const double qps = static_cast<double>(total) / wall;
+    if (clients == 1) base_qps = qps;
+    std::printf("  %-16zu %10zu %10.3f %12.1f %8.2fx\n", clients, total,
+                wall, qps, qps / base_qps);
+  }
+
+  std::printf("\n# Morsel-parallel filter: one client, "
+              "query_threads workers per scan\n");
+  std::printf("# %-16s %10s %12s %9s\n", "query_threads", "wall_s",
+              "queries/s", "speedup");
+  double base_morsel_qps = 0;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Database db;
+    CheckOk(db.AddTable(BaseTable(7)), "add table");
+    std::unique_ptr<DaisyEngine> engine = MakeCleanEngine(&db, workers);
+    (void)UnwrapOrDie(engine->Query(QueryFor(0)), "warm query");
+
+    Timer timer;
+    size_t served = 0;
+    ClientThread(engine.get(), &served);
+    const double wall = timer.ElapsedSeconds();
+    const double qps = static_cast<double>(served) / wall;
+    if (workers == 1) base_morsel_qps = qps;
+    std::printf("  %-16zu %10.3f %12.1f %8.2fx\n", workers, wall, qps,
+                qps / base_morsel_qps);
+  }
+  return 0;
+}

@@ -77,6 +77,10 @@ void CleanSelect::ApplyDelta(const TableDelta& delta,
 
 Status CleanSelect::DrainPendingDeltas(CleanSelectResult* out,
                                        std::vector<ViolationPair>* drained) {
+  // Nothing pending: return without touching any member — concurrent
+  // quiescent readers run this from the engine's shared path, so even a
+  // clear() of an already-empty vector would be a racy write.
+  if (pending_deltas_.empty() && pending_rows_.empty()) return Status::OK();
   for (const TableDelta& delta : pending_deltas_) {
     std::vector<ViolationPair> violations = theta_->DetectDelta(delta);
     out->detect_ops += theta_->pairs_checked();
@@ -145,8 +149,9 @@ Result<CleanSelectResult> CleanSelect::RunFd(
   out.final_rows = dirty_result;
   // The group statistics were delta-maintained at ingest; this query is the
   // first to consult them, which settles the pending delta accounting.
+  // (Guarded clear: quiescent readers must not write the empty vector.)
   out.delta_rows_checked = pending_rows_.size();
-  pending_rows_.clear();
+  if (!pending_rows_.empty()) pending_rows_.clear();
 
   // Fast path 1: the whole result was already checked by this rule — its
   // cells are final (Lemma 1) and the probabilistic filter semantics of the

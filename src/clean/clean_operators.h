@@ -93,6 +93,19 @@ class CleanSelect {
            checked_.size() == table_->num_rows();
   }
 
+  /// True when a Run() in the current state cannot mutate anything — every
+  /// row checked, no ingest work pending, and (for general DCs) the
+  /// detector itself fresh and fully covered. The engine's shared read
+  /// path requires every cleanσ of a plan to be quiescent; Run() then takes
+  /// its pruned fast paths, which are pure reads.
+  bool quiescent() const {
+    if (!fully_checked() || !pending_deltas_.empty() ||
+        !pending_rows_.empty()) {
+      return false;
+    }
+    return theta_ == nullptr || theta_->QuiescentForReaders();
+  }
+
  private:
   Result<CleanSelectResult> RunFd(const Expr* filter,
                                   const std::vector<RowId>& dirty_result,

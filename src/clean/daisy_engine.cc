@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 
 #include "plan/planner.h"
@@ -24,14 +25,20 @@ void ApplyEnvOverrides(DaisyOptions* options) {
     if (n > 0) options->detect_threads = static_cast<size_t>(n);
     fired = true;
   }
+  if (const char* v = std::getenv("DAISY_QUERY_THREADS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) options->query_threads = static_cast<size_t>(n);
+    fired = true;
+  }
   // The override silently replacing explicitly passed options would be a
   // debugging trap outside CI (e.g. vars left exported from reproducing
   // the ablation leg locally) — announce it once per process.
   if (fired) {
     static const bool announced = [] {
       std::fprintf(stderr,
-                   "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_DETECT_THREADS set: "
-                   "overriding DaisyOptions (CI ablation hook)\n");
+                   "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_DETECT_THREADS/"
+                   "DAISY_QUERY_THREADS set: overriding DaisyOptions (CI "
+                   "ablation hook)\n");
       return true;
     }();
     (void)announced;
@@ -45,6 +52,8 @@ DaisyEngine::DaisyEngine(Database* db, ConstraintSet constraints,
 }
 
 Status DaisyEngine::Prepare() {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  epoch_ = 0;
   statistics_.Clear();
   rules_.clear();
   provenance_.clear();
@@ -87,7 +96,28 @@ Status DaisyEngine::Prepare() {
     plan_context_->rules.emplace(name, binding);
   }
   prepared_ = true;
+  RefreshDerivedState();
   return Status::OK();
+}
+
+void DaisyEngine::RefreshDerivedState() {
+  // Caches first (a rebuild may reallocate the arrays the detectors point
+  // into), detectors second (their EnsureFresh re-points at the fresh
+  // arrays). After this, the shared read path finds every *built*
+  // projection and every detector fresh: column() takes its lock-free
+  // fast path and EnsureFresh is a pure read — "no rebuild under a
+  // reader". Never-touched columns stay lazy; a reader that is the first
+  // ever to compile a filter on one builds it cold under the cache's
+  // build mutex, which is safe because no pointers into it can predate it.
+  for (const std::string& name : db_->TableNames()) {
+    Result<Table*> table = db_->GetTable(name);
+    if (!table.ok()) continue;
+    table.value()->columns().RefreshBuilt();
+  }
+  for (auto& [name, state] : rules_) {
+    (void)name;
+    if (state.theta != nullptr) state.theta->Refresh();
+  }
 }
 
 CleaningOptions DaisyEngine::MakeCleaningOptions() const {
@@ -109,14 +139,17 @@ Result<Plan> DaisyEngine::MakePlan(const SelectStmt& stmt) {
   }
   Planner planner(db_);
   planner.set_columnar_filters(options_.columnar_filters);
-  return planner.PlanQuery(stmt, plan_context_.get());
+  DAISY_ASSIGN_OR_RETURN(Plan plan,
+                         planner.PlanQuery(stmt, plan_context_.get()));
+  plan.set_worker_threads(options_.query_threads);
+  return plan;
 }
 
-Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
-  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+Result<QueryReport> DaisyEngine::ExecutePlanLocked(Plan* plan, bool read_path,
+                                                   uint64_t epoch) {
   QueryReport report;
-  DAISY_ASSIGN_OR_RETURN(report.output, plan.Execute());
-  const CleaningExecStats& cs = plan.cleaning_stats();
+  DAISY_ASSIGN_OR_RETURN(report.output, plan->Execute());
+  const CleaningExecStats& cs = plan->cleaning_stats();
   report.extra_tuples = cs.extra_tuples;
   report.errors_fixed = cs.errors_fixed;
   report.tuples_scanned = cs.tuples_scanned;
@@ -127,37 +160,103 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
   report.switched_to_full = cs.switched_to_full;
   report.used_dc_full_clean = cs.used_dc_full_clean;
   report.min_estimated_accuracy = cs.min_estimated_accuracy;
+  report.epoch = epoch;
+  report.read_path = read_path;
+  return report;
+}
+
+Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
+  {
+    // Shared read path: when every cleanσ of the plan is quiescent,
+    // execution is a pure read (Run() takes its pruned fast paths, which
+    // the quiescence guards keep write-free) and may overlap with other
+    // readers. Quiescence cannot be broken by a concurrent reader, and
+    // writers are excluded, so the check stays valid for the whole shared
+    // section. The statistics-pruning fast paths are what make quiescent
+    // FD runs read-only, so with pruning disabled every query serializes.
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    if (prepared_ && options_.use_statistics_pruning) {
+      DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+      if (plan.CleaningQuiescent()) {
+        return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
+      }
+    }
+  }
+  // Writer path: cleaning-state mutation (relaxation, repairs, coverage
+  // accrual, delta drains) runs one at a time. The plan is rebuilt — the
+  // state may have advanced while waiting for the lock; if another writer
+  // made the plan quiescent meanwhile, the query is semantically a read:
+  // it mutates nothing and consumes no writer slot, keeping the epoch
+  // order reproducible by a serial replay.
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+  if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
+    return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
+  }
+  const uint64_t slot = ++epoch_;
+  Result<QueryReport> report =
+      ExecutePlanLocked(&plan, /*read_path=*/false, slot);
+  RefreshDerivedState();
   return report;
 }
 
 Result<std::string> DaisyEngine::Explain(const std::string& sql) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  // Planning never mutates engine state: always shared.
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
   return plan.Explain();
 }
 
 Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    if (prepared_ && options_.use_statistics_pruning) {
+      DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+      if (plan.CleaningQuiescent()) {
+        DAISY_RETURN_IF_ERROR(
+            ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
+        return plan.Explain();
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
-  DAISY_RETURN_IF_ERROR(plan.Execute().status());
+  if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
+    DAISY_RETURN_IF_ERROR(
+        ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
+    return plan.Explain();
+  }
+  const uint64_t slot = ++epoch_;
+  Result<QueryReport> report =
+      ExecutePlanLocked(&plan, /*read_path=*/false, slot);
+  RefreshDerivedState();
+  DAISY_RETURN_IF_ERROR(report.status());
   return plan.Explain();
 }
 
 Result<TableDelta> DaisyEngine::AppendRows(
     const std::string& table, std::vector<std::vector<Value>> rows) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->AppendRows(std::move(rows)));
   DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
+  delta.engine_epoch = ++epoch_;
+  RefreshDerivedState();
   return delta;
 }
 
 Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
                                            std::vector<RowId> ids) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->DeleteRows(std::move(ids)));
   DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
+  delta.engine_epoch = ++epoch_;
+  RefreshDerivedState();
   return delta;
 }
 
@@ -205,6 +304,7 @@ Status DaisyEngine::ApplyDeltaToRules(const std::string& table_name,
 }
 
 Status DaisyEngine::CleanAllRemaining() {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
   const CleaningOptions clean_opts = MakeCleaningOptions();
   for (auto& [name, state] : rules_) {
@@ -213,30 +313,38 @@ Status DaisyEngine::CleanAllRemaining() {
                            state.op->CleanRemaining(clean_opts));
     (void)res;
   }
+  ++epoch_;
+  RefreshDerivedState();
   return Status::OK();
 }
 
 Status DaisyEngine::ImportProvenance(const std::string& table,
                                      const ProvenanceStore& store) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   provenance_[table].MergeFrom(store, t);
+  ++epoch_;
+  RefreshDerivedState();
   return Status::OK();
 }
 
 Result<bool> DaisyEngine::RuleFullyChecked(const std::string& rule) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = rules_.find(rule);
   if (it == rules_.end()) return Status::NotFound("no rule '" + rule + "'");
   return it->second.op->fully_checked();
 }
 
 const CostModel* DaisyEngine::cost_model(const std::string& rule) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = rules_.find(rule);
   return it == rules_.end() ? nullptr : &it->second.cost;
 }
 
 const ProvenanceStore* DaisyEngine::provenance(
     const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = provenance_.find(table);
   return it == provenance_.end() ? nullptr : &it->second;
 }

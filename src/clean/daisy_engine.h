@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,14 +54,17 @@ struct DaisyOptions {
   /// Compile plan Filter predicates against the ColumnCache typed arrays
   /// (ablation switch; the row-path evaluator is the fallback).
   bool columnar_filters = true;
+  /// Morsel workers for a single query's Scan+Filter chains (1 = serial).
+  /// Results are deterministic for any value.
+  size_t query_threads = 1;
 };
 
 /// CI ablation hooks: when the environment variables DAISY_COLUMNAR_FILTERS
-/// ("0"/"1") or DAISY_DETECT_THREADS (positive integer) are set, they
-/// override the corresponding fields so the whole test suite can run with a
-/// non-default configuration (see the ablation leg in .github/workflows).
-/// A no-op when neither variable is set. Applied by the DaisyEngine
-/// constructor.
+/// ("0"/"1"), DAISY_DETECT_THREADS, or DAISY_QUERY_THREADS (positive
+/// integers) are set, they override the corresponding fields so the whole
+/// test suite can run with a non-default configuration (see the ablation
+/// leg in .github/workflows). A no-op when no variable is set. Applied by
+/// the DaisyEngine constructor.
 void ApplyEnvOverrides(DaisyOptions* options);
 
 /// Per-query execution report: the corrected output plus the cleaning
@@ -77,9 +81,32 @@ struct QueryReport {
   bool switched_to_full = false; ///< cost model fired this query
   bool used_dc_full_clean = false;
   double min_estimated_accuracy = 1.0;
+  /// Serial position in the engine's writer order: a query that mutated
+  /// cleaning state (or could have) owns slot `epoch` — the epoch-th writer
+  /// — while a shared-path read observed the state after writer `epoch`
+  /// committed. Replaying all operations in epoch order (readers after the
+  /// writer they observed) reproduces every output and the final state bit
+  /// for bit — the serial-equivalence contract the concurrency stress test
+  /// checks.
+  uint64_t epoch = 0;
+  /// True when the query was served concurrently under the shared reader
+  /// lock (every overlapping rule quiescent; no cleaning-state mutation).
+  bool read_path = false;
 };
 
 /// Query-driven cleaning engine.
+///
+/// Thread safety: N client threads may call Query / Explain /
+/// ExplainAnalyze / AppendRows / DeleteRows concurrently after Prepare().
+/// A reader/writer protocol serializes everything that mutates cleaning
+/// state behind one writer at a time, while queries whose overlapping
+/// rules are all quiescent (fully checked, no pending ingest work) execute
+/// concurrently under a shared lock — pure plan execution over
+/// already-clean regions, scaling with reader threads. Every operation's
+/// result is bit-identical to a serial replay in epoch order (see
+/// QueryReport::epoch). Writer sections refresh all derived state (column
+/// caches, detector partitions) before unlocking, so shared-path readers
+/// never build or rebuild anything.
 class DaisyEngine {
  public:
   /// `db` must outlive the engine. Constraints are moved in.
@@ -131,6 +158,13 @@ class DaisyEngine {
   /// True once `rule` has checked every tuple of its table.
   Result<bool> RuleFullyChecked(const std::string& rule) const;
 
+  // Introspection accessors. The lookup itself is locked, but the
+  // returned reference/pointer is NOT protected afterwards: concurrent
+  // writer operations mutate the pointed-to state (repairs append
+  // provenance records, writer queries feed the cost model, ingest patches
+  // statistics). Only read through these while no concurrent writers run —
+  // single-threaded use, a quiesced workload, or caller-side
+  // serialization.
   const ConstraintSet& constraints() const { return constraints_; }
   const Statistics& statistics() const { return statistics_; }
   const CostModel* cost_model(const std::string& rule) const;
@@ -152,6 +186,14 @@ class DaisyEngine {
   Status ApplyDeltaToRules(const std::string& table_name,
                            const TableDelta& delta);
   Result<Plan> MakePlan(const SelectStmt& stmt);
+  /// Executes `plan` and assembles the report (caller holds mu_ in the
+  /// matching mode).
+  Result<QueryReport> ExecutePlanLocked(Plan* plan, bool read_path,
+                                        uint64_t epoch);
+  /// Rebuilds every stale column projection and resyncs every DC detector.
+  /// Called at the end of each writer section, before mu_ is released, so
+  /// the shared read path only ever reads fresh derived state.
+  void RefreshDerivedState();
 
   Database* db_;
   ConstraintSet constraints_;
@@ -163,6 +205,16 @@ class DaisyEngine {
   /// Prepare().
   std::unique_ptr<CleaningPlanContext> plan_context_;
   bool prepared_ = false;
+  /// Engine-wide reader/writer lock: exclusive for anything that may
+  /// mutate cleaning state (writer queries, ingest, CleanAllRemaining,
+  /// ImportProvenance, Prepare), shared for quiescent-plan queries and
+  /// Explain. Heap-held so the engine stays movable (moving an engine
+  /// while other threads use it is invalid anyway).
+  std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
+  /// Committed writer count; written under the exclusive lock, read under
+  /// the shared lock. Reset by Prepare().
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace daisy

@@ -1,8 +1,17 @@
 #include "common/csv.h"
 
 #include <fstream>
+#include <iterator>
 
 namespace daisy {
+
+// NOTE: ParseCsvLine and ReadCsvFile intentionally hold two variants of
+// the same quoted-field state machine and must evolve together. The
+// difference is what follows a record: ParseCsvLine parses one record
+// whose terminator was already consumed (so after a closing quote only
+// the separator or end-of-input may follow, and newline bytes are field
+// content), while ReadCsvFile owns terminator detection (\n, \r\n, lone
+// \r end a record outside quotes and may follow a closing quote).
 
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
                                               char sep) {
@@ -21,6 +30,11 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
         }
         in_quotes = false;
         ++i;
+        // A closed quoted field must be followed by the separator or the
+        // end of the line; `"ab"cd` is malformed, not a spelling of abcd.
+        if (i < line.size() && line[i] != sep) {
+          return Status::ParseError("text after closing quote in: " + line);
+        }
         continue;
       }
       cur.push_back(c);
@@ -52,13 +66,17 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
 }
 
 std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
+  // A lone empty field would render as a blank line, which readers skip —
+  // quote it so the row survives the round trip.
+  if (fields.size() == 1 && fields[0].empty()) return "\"\"";
   std::string out;
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out.push_back(sep);
     const std::string& f = fields[i];
     const bool needs_quote = f.find(sep) != std::string::npos ||
                              f.find('"') != std::string::npos ||
-                             f.find('\n') != std::string::npos;
+                             f.find('\n') != std::string::npos ||
+                             f.find('\r') != std::string::npos;
     if (!needs_quote) {
       out += f;
       continue;
@@ -75,24 +93,104 @@ std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char sep) {
-  std::ifstream in(path);
+  // Opened in binary mode: record boundaries are found by this parser, not
+  // by the platform's newline translation, so CRLF files read identically
+  // everywhere and bytes inside quoted fields survive untouched.
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open file: " + path);
+  const std::string buf{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+
   std::vector<std::vector<std::string>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    DAISY_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                           ParseCsvLine(line, sep));
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  bool any = false;  // current record consumed at least one character
+  auto end_record = [&]() {
+    if (!any) {  // blank line — skipped, as the line reader always did
+      fields.clear();
+      cur.clear();
+      return;
+    }
+    fields.push_back(std::move(cur));
+    cur.clear();
     rows.push_back(std::move(fields));
+    fields.clear();
+    any = false;
+  };
+
+  size_t i = 0;
+  while (i < buf.size()) {
+    const char c = buf[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < buf.size() && buf[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        if (i < buf.size() && buf[i] != sep && buf[i] != '\n' &&
+            buf[i] != '\r') {
+          return Status::ParseError("text after closing quote at byte " +
+                                    std::to_string(i) + " of " + path);
+        }
+        continue;
+      }
+      // Everything inside quotes is field content, newlines included: a
+      // quoted field continues across physical lines until its closing
+      // quote (RFC 4180), which is how FormatCsvLine round-trips embedded
+      // newlines.
+      cur.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!cur.empty()) {
+        return Status::ParseError("unexpected quote mid-field at byte " +
+                                  std::to_string(i) + " of " + path);
+      }
+      in_quotes = true;
+      any = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      any = true;
+      fields.push_back(std::move(cur));
+      cur.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      // CRLF (or a lone CR) terminates the record; the \r never leaks into
+      // the last field.
+      ++i;
+      if (i < buf.size() && buf[i] == '\n') ++i;
+      end_record();
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      end_record();
+      continue;
+    }
+    cur.push_back(c);
+    any = true;
+    ++i;
   }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field at end of " + path);
+  }
+  end_record();  // file not ending in a newline
   return rows;
 }
 
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char sep) {
-  std::ofstream out(path, std::ios::trunc);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) return Status::IOError("cannot open file for write: " + path);
   for (const auto& row : rows) {
     out << FormatCsvLine(row, sep) << '\n';

@@ -12,16 +12,22 @@
 namespace daisy {
 
 /// Parses one CSV line into fields. Supports double-quoted fields with
-/// embedded separators and doubled quotes ("" -> ").
+/// embedded separators and doubled quotes ("" -> "). A closed quoted field
+/// must be followed by the separator or end-of-line (`"ab"cd` is a
+/// ParseError, like the mid-field-quote case).
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
                                               char sep = ',');
 
-/// Renders fields as one CSV line, quoting where needed.
+/// Renders fields as one CSV line, quoting where needed (separator, quote,
+/// or any line-break character in the field).
 std::string FormatCsvLine(const std::vector<std::string>& fields,
                           char sep = ',');
 
-/// Reads a whole CSV file into rows of string fields. Rows may not span
-/// physical lines (no embedded newlines).
+/// Reads a whole CSV file into rows of string fields. A quoted field
+/// continues across physical lines until its closing quote, so files
+/// written by WriteCsvFile round-trip embedded newlines byte-exactly.
+/// Record terminators may be LF, CRLF, or lone CR (the \r never leaks into
+/// the last field); blank lines are skipped.
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char sep = ',');
 

@@ -71,8 +71,9 @@ ThetaJoinDetector::ThetaJoinDetector(const Table* table,
 
 void ThetaJoinDetector::ResetCoverage() {
   checked_.assign(table_->num_rows(), false);
+  checked_count_ = 0;
   for (RowId r = 0; r < checked_.size(); ++r) {
-    if (!table_->is_live(r)) checked_[r] = true;
+    if (!table_->is_live(r)) MarkRowChecked(r);
   }
   deleted_log_pos_ = table_->deleted_rows_log().size();
   // Nothing is checked, so a plain DetectAll covers every pair — no
@@ -118,7 +119,7 @@ void ThetaJoinDetector::EnsureFresh() {
   const bool deleted = deleted_log_pos_ < dlog.size();
   if (deleted) {
     for (size_t i = deleted_log_pos_; i < dlog.size(); ++i) {
-      if (dlog[i] < checked_.size()) checked_[dlog[i]] = true;
+      if (dlog[i] < checked_.size()) MarkRowChecked(dlog[i]);
     }
     deleted_log_pos_ = dlog.size();
     auto dead = [&](const ViolationPair& p) {
@@ -476,6 +477,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectAll() {
     }
   }
   std::fill(checked_.begin(), checked_.end(), true);
+  checked_count_ = checked_.size();
   MergeIntoMaintained(out);
   return out;
 }
@@ -525,7 +527,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
         }
       }
     }
-    for (RowId r : result_rows) checked_[r] = true;
+    for (RowId r : result_rows) MarkRowChecked(r);
     MergeIntoMaintained(out);
     return out;
   }
@@ -563,7 +565,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DetectIncremental(
       }
     }
   }
-  for (RowId r : result_rows) checked_[r] = true;
+  for (RowId r : result_rows) MarkRowChecked(r);
   MergeIntoMaintained(out);
   return out;
 }
@@ -658,7 +660,7 @@ std::vector<ViolationPair> ThetaJoinDetector::DrainAppends(RowId end) {
       }
     }
   }
-  for (RowId r : fresh) checked_[r] = true;
+  for (RowId r : fresh) MarkRowChecked(r);
   MergeIntoMaintained(out);
   return out;
 }
@@ -799,10 +801,26 @@ double ThetaJoinDetector::Support() const {
 
 bool ThetaJoinDetector::FullyChecked() {
   EnsureFresh();
-  for (bool b : checked_) {
-    if (!b) return false;
+  return checked_count_ == checked_.size();
+}
+
+bool ThetaJoinDetector::QuiescentForReaders() const {
+  // Mirrors EnsureFresh's staleness checks without acting on them: any
+  // condition that would make EnsureFresh rebuild or resync means a writer
+  // pass is owed, so the reader path must not be taken. column() is a pure
+  // read here as long as writers left the cache fresh (the engine's
+  // RefreshDerivedState guarantee).
+  ColumnCache& cache = table_->columns();
+  const std::vector<size_t>& cols = dc_->involved_columns();
+  if (cols_.size() != cols.size() || cache.id() != cache_id_) return false;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const ColumnCache::Column& col = cache.column(cols[i]);
+    if (col.generation != col_generations_[i]) return false;
+    if (col.num.data() != col_data_[i]) return false;
   }
-  return true;
+  if (checked_.size() != table_->num_rows()) return false;
+  if (deleted_log_pos_ != table_->deleted_rows_log().size()) return false;
+  return checked_count_ == checked_.size();
 }
 
 }  // namespace daisy

@@ -158,14 +158,31 @@ class ThetaJoinDetector {
   /// deltas first, so freshly appended rows count as unchecked).
   bool FullyChecked();
 
+  /// Syncs the detector with the table/cache state (the EnsureFresh pass
+  /// every public entry runs). The engine's writer sections call this
+  /// before releasing the exclusive lock so shared-path readers find the
+  /// detector fresh and never mutate it.
+  void Refresh() { EnsureFresh(); }
+
+  /// Non-mutating probe for the engine's shared read path: true when the
+  /// detector is fresh (no column rebuild, append, or delete pending) AND
+  /// every row is checked — i.e. any Detect*/FullyChecked call in the
+  /// current state would be a pure read. Conservatively false whenever a
+  /// writer pass would have work to do.
+  bool QuiescentForReaders() const;
+
   size_t num_partitions() const { return boundaries_.size(); }
 
   // Instrumentation (reset by each Detect* call).
   size_t pairs_checked() const { return pairs_checked_; }
   size_t partitions_pruned() const { return partitions_pruned_; }
 
-  /// Disables partition pruning (ablation switch for benches).
-  void set_pruning_enabled(bool enabled) { pruning_enabled_ = enabled; }
+  /// Disables partition pruning (ablation switch for benches). Written
+  /// conditionally: concurrent quiescent readers re-apply the value already
+  /// set, which must not count as a write.
+  void set_pruning_enabled(bool enabled) {
+    if (pruning_enabled_ != enabled) pruning_enabled_ = enabled;
+  }
 
   /// Ablation switch: evaluate pairs through per-cell Value dispatch
   /// (DenialConstraint::ViolatedBy) instead of the compiled flat arrays.
@@ -221,6 +238,14 @@ class ThetaJoinDetector {
   /// everything unchecked except tombstones, delete log consumed, no rows
   /// owing an integration pass, maintained set empty.
   void ResetCoverage();
+  /// Every checked_ write goes through here so checked_count_ stays exact
+  /// (QuiescentForReaders answers full coverage in O(1) on the read path).
+  void MarkRowChecked(RowId r) {
+    if (!checked_[r]) {
+      checked_[r] = true;
+      ++checked_count_;
+    }
+  }
   void MergeIntoMaintained(const std::vector<ViolationPair>& found);
   /// Integrates appended rows [integrated_rows_, end) — the DetectDelta
   /// core, shared with the auto-drain DetectAll/DetectIncremental run
@@ -254,6 +279,7 @@ class ThetaJoinDetector {
   std::vector<RowId> sorted_;          ///< live rows, sorted by sort_column_
   std::vector<PartitionStats> boundaries_;
   std::vector<bool> checked_;          ///< row id -> cross-checked?
+  size_t checked_count_ = 0;           ///< number of true bits in checked_
   /// Violations among covered rows, sorted by (t1, t2); see
   /// maintained_violations().
   std::vector<ViolationPair> maintained_;

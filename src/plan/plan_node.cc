@@ -1,7 +1,9 @@
 #include "plan/plan_node.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <thread>
 
 #include "query/eval.h"
 
@@ -35,12 +37,16 @@ std::string ScanNode::Label() const {
 
 Status ScanNode::Open(ExecContext* ctx) {
   pos_ = 0;
+  // Snapshot pin: rows appended after this point (there are none while the
+  // engine's lock protocol holds; Plan::Execute trips otherwise) stay
+  // invisible for the whole execution instead of appearing mid-scan.
+  end_ = table_->Snapshot().num_rows;
   ctx->rows_scanned += table_->num_live_rows();
   return Status::OK();
 }
 
 Result<bool> ScanNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
-  const size_t n = table_->num_rows();
+  const size_t n = end_;
   if (pos_ >= n) return false;
   out->clear();
   out->reserve(std::min(ctx->batch_size, n - pos_));
@@ -74,15 +80,88 @@ std::string FilterNode::Label() const {
 Status FilterNode::Open(ExecContext* ctx) {
   DAISY_RETURN_IF_ERROR(child_rows_->Open(ctx));
   compiled_.reset();
+  parallel_ = false;
+  parallel_rows_.clear();
+  parallel_pos_ = 0;
   if (columnar_) {
     DAISY_ASSIGN_OR_RETURN(CompiledFilter compiled,
                            CompiledFilter::Compile(*table_, *expr_));
     compiled_ = std::make_unique<CompiledFilter>(std::move(compiled));
   }
+  // Minimum-work gate: below two morsels the thread create/join overhead
+  // exceeds the scan itself, so small tables keep the serial pull.
+  if (compiled_ != nullptr && ctx->worker_threads > 1 &&
+      children_[0]->kind() == Kind::kScan &&
+      table_->Snapshot().num_rows >= 2 * kMorselRows) {
+    DAISY_RETURN_IF_ERROR(ParallelScan(ctx));
+    parallel_ = true;
+  }
+  return Status::OK();
+}
+
+Status FilterNode::ParallelScan(ExecContext* ctx) {
+  // The child Scan was Opened (snapshot pinned, rows_scanned accounted)
+  // but is not pulled: the morsel pool scans the same pinned range
+  // directly against the compiled filter. The row-path evaluator is not
+  // parallelized (Result plumbing per row); it keeps the serial pull.
+  const size_t n = table_->Snapshot().num_rows;
+  const size_t morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<std::vector<RowId>> matches(morsels);
+  std::vector<size_t> live_in_morsel(morsels, 0);
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    while (true) {
+      const size_t m = next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels) break;
+      const RowId lo = m * kMorselRows;
+      const RowId hi = std::min<RowId>(n, lo + kMorselRows);
+      std::vector<RowId>& out = matches[m];
+      for (RowId r = lo; r < hi; ++r) {
+        if (!table_->is_live(r)) continue;
+        ++live_in_morsel[m];
+        if (compiled_->Matches(r)) out.push_back(r);
+      }
+    }
+  };
+  const size_t workers =
+      std::min(ctx->worker_threads, std::max<size_t>(1, morsels));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+
+  // Deterministic merge: morsel order == ascending row order == the exact
+  // stream the serial pull produces.
+  size_t total_live = 0, total_matches = 0;
+  for (size_t m = 0; m < morsels; ++m) {
+    total_live += live_in_morsel[m];
+    total_matches += matches[m].size();
+  }
+  parallel_rows_.reserve(total_matches);
+  for (std::vector<RowId>& m : matches) {
+    parallel_rows_.insert(parallel_rows_.end(), m.begin(), m.end());
+  }
+  // The bypassed Scan still reports what it (logically) produced; this
+  // node's own counters accrue as the materialized stream is served.
+  NodeStats& scan_stats = children_[0]->stats();
+  scan_stats.rows_out = total_live;
+  scan_stats.batches = morsels;
+  stats_.rows_in = total_live;
   return Status::OK();
 }
 
 Result<bool> FilterNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  if (parallel_) {
+    if (parallel_pos_ >= parallel_rows_.size()) return false;
+    const size_t count =
+        std::min(ctx->batch_size, parallel_rows_.size() - parallel_pos_);
+    out->assign(parallel_rows_.begin() + parallel_pos_,
+                parallel_rows_.begin() + parallel_pos_ + count);
+    parallel_pos_ += count;
+    stats_.rows_out += count;
+    ++stats_.batches;
+    return true;
+  }
   RowIdBatch in;
   DAISY_ASSIGN_OR_RETURN(bool more, child_rows_->NextBatch(ctx, &in));
   if (!more) return false;

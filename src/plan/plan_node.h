@@ -50,6 +50,11 @@ struct CleaningExecStats {
 /// Per-execution state threaded through the operator tree.
 struct ExecContext {
   size_t batch_size = 1024;
+  /// Morsel workers for the Scan+Filter chain (1 = serial). A compiled
+  /// Filter directly above a Scan fans row-range morsels out over a small
+  /// thread pool at Open and merges the matches in morsel order, so the
+  /// emitted row stream is identical for any worker count.
+  size_t worker_threads = 1;
   size_t rows_scanned = 0;  ///< Σ base-table rows opened by Scan nodes
   CleaningExecStats cleaning;
 };
@@ -116,7 +121,9 @@ class RowSetNode : public PlanNode {
   Result<std::vector<RowId>> Drain(ExecContext* ctx);
 };
 
-/// Full-table scan emitting row ids in batches.
+/// Full-table scan emitting row ids in batches. Open pins the table's
+/// ingest snapshot: the scan only ever visits row ids below the pinned
+/// bound, so rows appended after the query opened are invisible to it.
 class ScanNode : public RowSetNode {
  public:
   explicit ScanNode(const Table* table);
@@ -128,6 +135,7 @@ class ScanNode : public RowSetNode {
  private:
   const Table* table_;
   RowId pos_ = 0;
+  RowId end_ = 0;  ///< snapshot row bound pinned at Open
 };
 
 /// Predicate filter over its child's batches. Compiles the expression
@@ -144,11 +152,26 @@ class FilterNode : public RowSetNode {
   Result<bool> NextBatch(ExecContext* ctx, RowIdBatch* out) override;
 
  private:
+  /// Morsel granularity of the parallel scan; also sets the minimum-work
+  /// gate (tables under two morsels keep the serial pull).
+  static constexpr size_t kMorselRows = 4096;
+
+  /// Morsel-parallel evaluation over the child Scan's pinned row range:
+  /// workers claim fixed-size morsels off an atomic counter (the
+  /// detect_threads pool pattern of theta_join.cc) and the per-morsel
+  /// matches are concatenated in morsel order, so the materialized row
+  /// stream is bit-identical to the serial scan. Taken at Open when the
+  /// filter compiled, the child is a Scan, and ctx->worker_threads > 1.
+  Status ParallelScan(ExecContext* ctx);
+
   const Table* table_;
   const Expr* expr_;  ///< owned by the Plan (SplitWhere)
   bool columnar_;
   std::unique_ptr<CompiledFilter> compiled_;  ///< rebuilt per execution
   RowSetNode* child_rows_;
+  bool parallel_ = false;            ///< morsel path taken this execution
+  std::vector<RowId> parallel_rows_; ///< materialized matches, morsel order
+  size_t parallel_pos_ = 0;
 };
 
 /// cleanσ as a plan operator: drains the child's qualifying rows, runs the
@@ -173,6 +196,11 @@ class CleanSelectNode : public RowSetNode {
   /// the node is only dropped from the rendered plan.
   void set_statically_pruned(bool v) { statically_pruned_ = v; }
   bool HiddenInExplain() const override { return statically_pruned_; }
+
+  /// True when Open() in the current state performs no cleaning-state
+  /// mutation (see CleanSelect::quiescent) — the engine's shared read path
+  /// requires it of every cleanσ node in the plan.
+  bool CleaningQuiescent() const { return op_->quiescent(); }
 
  private:
   Table* table_;

@@ -55,9 +55,26 @@ std::vector<size_t> QueryColumnsForTable(const SelectStmt& stmt,
 Result<QueryOutput> Plan::Execute() {
   ExecContext ctx;
   ctx.batch_size = batch_size_;
+  ctx.worker_threads = worker_threads_;
+  // Pin every FROM table's ingest state; verified after the run. Cleaning
+  // side effects repair cells in place and never append or delete rows, so
+  // a moved pair can only mean an ingest raced this execution.
+  std::vector<TableSnapshot> pinned;
+  pinned.reserve(state_->const_tables.size());
+  for (const Table* t : state_->const_tables) pinned.push_back(t->Snapshot());
   root_->ResetStatsRecursive();
   auto* output = static_cast<OutputNode*>(root_.get());
   DAISY_ASSIGN_OR_RETURN(QueryOutput out, output->ExecuteOutput(&ctx));
+  for (size_t i = 0; i < state_->const_tables.size(); ++i) {
+    const TableSnapshot now = state_->const_tables[i]->Snapshot();
+    if (now.append_version != pinned[i].append_version ||
+        now.delta_generation != pinned[i].delta_generation) {
+      return Status::Internal(
+          "table '" + state_->const_tables[i]->name() +
+          "' was ingested into while a query executed over it — ingest "
+          "must serialize behind the engine's writer lock");
+    }
+  }
   out.rows_scanned = ctx.rows_scanned;
   cleaning_ = ctx.cleaning;
   executed_ = true;
@@ -65,6 +82,23 @@ Result<QueryOutput> Plan::Execute() {
 }
 
 std::string Plan::Explain() const { return RenderPlanTree(*root_, executed_); }
+
+namespace {
+
+bool SubtreeQuiescent(const PlanNode& node) {
+  if (node.kind() == PlanNode::Kind::kCleanSelect &&
+      !static_cast<const CleanSelectNode&>(node).CleaningQuiescent()) {
+    return false;
+  }
+  for (const auto& child : node.children()) {
+    if (!SubtreeQuiescent(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Plan::CleaningQuiescent() const { return SubtreeQuiescent(*root_); }
 
 Result<Plan> Planner::PlanQuery(const SelectStmt& stmt) {
   return PlanQuery(stmt, nullptr);

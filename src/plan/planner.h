@@ -64,6 +64,10 @@ class Plan {
   /// Runs the plan, materializing the output and filling per-node
   /// counters. May be executed repeatedly (counters reset each run);
   /// cleaning plans mutate the underlying tables as a side effect.
+  /// Execution pins every FROM table's ingest snapshot at entry and fails
+  /// with an Internal error if the (append_version, delta_generation) pair
+  /// moved before the output was built — a torn scan from an ingest that
+  /// bypassed the engine's writer lock is an error, never a wrong answer.
   Result<QueryOutput> Execute();
 
   /// Deterministic indented plan tree. After Execute(), per-node
@@ -78,6 +82,16 @@ class Plan {
 
   /// Row-id batch granularity of the Scan/Filter pipeline.
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  /// Morsel workers for the Scan+Filter chains (see ExecContext); results
+  /// are identical for any value.
+  void set_worker_threads(size_t n) { worker_threads_ = n == 0 ? 1 : n; }
+
+  /// True when every cleanσ node of this plan is quiescent (see
+  /// CleanSelect::quiescent): executing the plan performs no cleaning-state
+  /// mutation, so the engine may serve it under its shared reader lock.
+  /// Trivially true for cleaning-oblivious plans.
+  bool CleaningQuiescent() const;
 
  private:
   friend class Planner;
@@ -98,6 +112,7 @@ class Plan {
   CleaningExecStats cleaning_;
   bool executed_ = false;
   size_t batch_size_ = 1024;
+  size_t worker_threads_ = 1;
 };
 
 /// Stateless plan builder over a database catalog.

@@ -181,15 +181,38 @@ size_t ColumnCache::EnsureBuilt(const std::vector<size_t>& cols) {
   return table_->num_rows();
 }
 
+void ColumnCache::RefreshBuilt() {
+  for (size_t c = 0; c < slots_.size(); ++c) {
+    if (slots_[c].published.load(std::memory_order_acquire)) {
+      (void)column(c);
+    }
+  }
+}
+
 const ColumnCache::Column& ColumnCache::column(size_t c) {
-  if (c >= slots_.size()) slots_.resize(table_->num_columns());
   Slot& slot = slots_[c];
+  // Lock-free fast path: a published slot whose (content-version, rows)
+  // pair still matches the table is immutable until the next writer
+  // section (writers refresh every cache before releasing the engine's
+  // exclusive lock), so its arrays are readable without the build mutex.
+  if (slot.published.load(std::memory_order_acquire) &&
+      slot.published_version.load(std::memory_order_acquire) ==
+          table_->content_version(c) &&
+      slot.published_rows.load(std::memory_order_acquire) ==
+          table_->num_rows()) {
+    return slot.col;
+  }
+  std::lock_guard<std::mutex> lock(build_mu_);
   if (!slot.built ||
       slot.built_content_version != table_->content_version(c)) {
     Rebuild(c);
   } else if (slot.built_rows < table_->num_rows()) {
     Extend(c);
   }
+  slot.published_version.store(slot.built_content_version,
+                               std::memory_order_release);
+  slot.published_rows.store(slot.built_rows, std::memory_order_release);
+  slot.published.store(true, std::memory_order_release);
   return slot.col;
 }
 

@@ -47,14 +47,24 @@
 // the arrays keep tombstoned rows in place (row-id alignment) and
 // consumers filter through Table::is_live.
 //
-// Not thread-safe: build the needed columns single-threaded (one
-// `column(c)` call per column), then share the returned arrays read-only
-// across worker threads.
+// Concurrent-reader publication: a built column is published by storing
+// its (content-version, row-count) pair into per-slot atomics; column()
+// takes a lock-free fast path when the published pair still matches the
+// table, and falls into a mutex-guarded build otherwise. Under the
+// engine's reader/writer protocol (see clean/daisy_engine.h) writers leave
+// every column fresh before releasing the exclusive lock, so shared-path
+// readers only ever hit the fast path — a build never reallocates arrays
+// another reader points into ("no rebuild under a reader"); the mutex only
+// serializes the first lazy build of a never-touched column. Outside that
+// protocol the old contract stands: build single-threaded, then share the
+// arrays read-only.
 
 #ifndef DAISY_STORAGE_COLUMN_CACHE_H_
 #define DAISY_STORAGE_COLUMN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -105,6 +115,15 @@ class ColumnCache {
   /// without rebuild checks interleaved with evaluation.
   size_t EnsureBuilt(const std::vector<size_t>& cols);
 
+  /// Re-freshens every *already built* column (rebuild on content change,
+  /// extend on appends) and leaves never-touched columns lazy. The
+  /// engine's writer sections call this before releasing the exclusive
+  /// lock: stale arrays can only exist for built columns (those are the
+  /// ones readers may hold pointers into), while a cold first build under
+  /// a reader is safe — it is serialized by the build mutex and nobody
+  /// can hold pointers into arrays that never existed.
+  void RefreshBuilt();
+
   /// Process-unique identity of this cache instance. A consumer holding
   /// array pointers must treat a different id as a wholesale data change
   /// (the table was reassigned and its cache rebuilt from scratch —
@@ -129,6 +148,12 @@ class ColumnCache {
     // them from the dictionary.
     std::unordered_map<Value, uint32_t, ValueHash> dict_index;
     std::vector<uint32_t> rank_of_code;
+    // Freshness published for the lock-free reader fast path; stored under
+    // build_mu_ after the arrays are final (release), checked with an
+    // acquire load in column(). `published` is the release/acquire gate.
+    std::atomic<uint64_t> published_version{0};
+    std::atomic<size_t> published_rows{0};
+    std::atomic<bool> published{false};
   };
 
   void Rebuild(size_t c);
@@ -136,8 +161,9 @@ class ColumnCache {
   static void AssignRanks(Slot* slot);
 
   const Table* table_;
-  std::vector<Slot> slots_;
+  std::vector<Slot> slots_;  ///< sized at construction, never resized
   uint64_t id_;
+  std::mutex build_mu_;  ///< serializes Rebuild/Extend and publication
 };
 
 }  // namespace daisy

@@ -39,6 +39,7 @@ Table& Table::operator=(const Table& other) {
   live_ = other.live_;
   num_dead_ = other.num_dead_;
   deleted_log_ = other.deleted_log_;
+  cache_ptr_.store(nullptr, std::memory_order_release);
   cache_.reset();  // held a pointer to *this with the old contents
   return *this;
 }
@@ -55,6 +56,7 @@ Table::Table(Table&& other) noexcept
       num_dead_(other.num_dead_),
       deleted_log_(std::move(other.deleted_log_)) {
   // other.cache_ points at `other`; never adopt it.
+  other.cache_ptr_.store(nullptr, std::memory_order_release);
   other.cache_.reset();
 }
 
@@ -70,13 +72,23 @@ Table& Table::operator=(Table&& other) noexcept {
   live_ = std::move(other.live_);
   num_dead_ = other.num_dead_;
   deleted_log_ = std::move(other.deleted_log_);
+  cache_ptr_.store(nullptr, std::memory_order_release);
   cache_.reset();
+  other.cache_ptr_.store(nullptr, std::memory_order_release);
   other.cache_.reset();
   return *this;
 }
 
 ColumnCache& Table::columns() const {
-  if (cache_ == nullptr) cache_ = std::make_unique<ColumnCache>(this);
+  // Lock-free once created; the mutex only serializes the first lazy
+  // creation so concurrent readers never race on cache_.
+  ColumnCache* cached = cache_ptr_.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<ColumnCache>(this);
+    cache_ptr_.store(cache_.get(), std::memory_order_release);
+  }
   return *cache_;
 }
 

@@ -21,8 +21,10 @@
 #ifndef DAISY_STORAGE_TABLE_H_
 #define DAISY_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,23 @@ struct TableDelta {
   std::vector<RowId> deleted;
 
   bool empty() const { return appended.empty() && deleted.empty(); }
+
+  /// Writer sequence number of the DaisyEngine ingest call that applied
+  /// this batch (see QueryReport::epoch). 0 when the batch was applied
+  /// through the plain Table API.
+  uint64_t engine_epoch = 0;
+};
+
+/// The ingest-visibility pin a query takes at open: row ids below
+/// `num_rows` existed when the snapshot was taken, and the version pair
+/// identifies the exact ingest state. Scans iterate only up to the pinned
+/// bound, and Plan::Execute verifies the pair did not move during the run —
+/// a concurrent ingest slipping past the engine's writer lock is reported
+/// as an Internal error instead of silently producing a torn scan.
+struct TableSnapshot {
+  uint64_t append_version = 0;
+  uint64_t delta_generation = 0;
+  size_t num_rows = 0;  ///< physical row-id bound at pin time
 };
 
 /// A named relation with probabilistic cells.
@@ -112,6 +131,13 @@ class Table {
   /// Moves on every ingest batch (append or delete).
   uint64_t delta_generation() const { return delta_generation_; }
 
+  /// Pins the current ingest state (see TableSnapshot). Queries take one
+  /// per table at open so a concurrent ingest never makes rows appear (or
+  /// vanish) mid-scan.
+  TableSnapshot Snapshot() const {
+    return {append_version_, delta_generation_, rows_.size()};
+  }
+
   /// Every tombstoned row id, in deletion order. Grows monotonically;
   /// delta-aware consumers remember the prefix they consumed and catch up
   /// from there in O(new deletions).
@@ -119,6 +145,9 @@ class Table {
 
   /// Lazily-built columnar projections of this table (flat typed arrays,
   /// dictionary codes, sorted indexes). Logically const: derived data only.
+  /// Safe to call from concurrent reader threads under the engine's shared
+  /// lock: the first creation is mutex-guarded and the cache itself
+  /// publishes built columns atomically (see storage/column_cache.h).
   ColumnCache& columns() const;
 
   /// Appends a tuple of deterministic values. Fails on arity mismatch or on
@@ -191,6 +220,11 @@ class Table {
   size_t num_dead_ = 0;               ///< count of tombstoned rows
   std::vector<RowId> deleted_log_;    ///< tombstoned ids, deletion order
   mutable std::unique_ptr<ColumnCache> cache_;  ///< derived, built on demand
+  /// Published pointer to cache_ for lock-free reads once created; the
+  /// mutex only serializes the first (lazy) creation. Neither member is
+  /// copied or moved with the table — the copy/move paths reset both.
+  mutable std::atomic<ColumnCache*> cache_ptr_{nullptr};
+  mutable std::mutex cache_mu_;
 };
 
 }  // namespace daisy

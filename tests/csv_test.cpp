@@ -1,0 +1,172 @@
+// Regression tests for the three CSV correctness fixes:
+//
+//  1. Quoted fields containing newlines round-trip: ReadCsvFile continues a
+//     record across physical lines while inside an unterminated quoted
+//     field (the old per-line getline reader could never read back what
+//     FormatCsvLine wrote for a multiline field).
+//  2. CRLF record terminators never leak a trailing \r into the last field,
+//     while \r bytes inside quoted fields are preserved verbatim (and
+//     FormatCsvLine quotes fields containing \r so they survive the trip).
+//  3. Text after a closing quote ("ab"cd) is a ParseError, in both
+//     ParseCsvLine and ReadCsvFile.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace daisy {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(out.good());
+  out << bytes;
+}
+
+// --------------------------------------------------- multiline round trip --
+
+TEST(CsvMultilineTest, EmbeddedNewlineRoundTrips) {
+  const std::string path = TempPath("daisy_csv_multiline.csv");
+  const std::vector<std::vector<std::string>> rows{
+      {"id", "note"},
+      {"1", "line one\nline two"},
+      {"2", "plain"},
+      {"3", "trailing\n"},
+      {"4", "\nleading, and a comma"},
+  };
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(read, rows);
+}
+
+TEST(CsvMultilineTest, QuotedFieldSpansManyLines) {
+  const std::string path = TempPath("daisy_csv_many_lines.csv");
+  WriteRaw(path, "a,\"1\n2\n3\n4\",b\nc,d,e\n");
+  auto read = ReadCsvFile(path).ValueOrDie();
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0], (std::vector<std::string>{"a", "1\n2\n3\n4", "b"}));
+  EXPECT_EQ(read[1], (std::vector<std::string>{"c", "d", "e"}));
+}
+
+TEST(CsvMultilineTest, UnterminatedQuoteAtEofIsParseError) {
+  const std::string path = TempPath("daisy_csv_unterminated.csv");
+  WriteRaw(path, "a,\"never closed\nstill open");
+  auto read = ReadCsvFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+}
+
+// ------------------------------------------------------------------ CRLF --
+
+TEST(CsvCrlfTest, CrlfTerminatorsDoNotLeakIntoLastField) {
+  const std::string path = TempPath("daisy_csv_crlf.csv");
+  WriteRaw(path, "zip,city\r\n9001,LA\r\n9002,SF\r\n");
+  auto read = ReadCsvFile(path).ValueOrDie();
+  ASSERT_EQ(read.size(), 3u);
+  EXPECT_EQ(read[0], (std::vector<std::string>{"zip", "city"}));
+  EXPECT_EQ(read[1], (std::vector<std::string>{"9001", "LA"}));
+  EXPECT_EQ(read[2], (std::vector<std::string>{"9002", "SF"}));
+}
+
+TEST(CsvCrlfTest, LoneCrTerminatesRecords) {
+  const std::string path = TempPath("daisy_csv_cr.csv");
+  WriteRaw(path, "a,b\rc,d\r");
+  auto read = ReadCsvFile(path).ValueOrDie();
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(read[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvCrlfTest, CrInsideQuotedFieldIsPreserved) {
+  const std::string path = TempPath("daisy_csv_quoted_cr.csv");
+  WriteRaw(path, "\"a\rb\",c\r\n");
+  auto read = ReadCsvFile(path).ValueOrDie();
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0], (std::vector<std::string>{"a\rb", "c"}));
+}
+
+TEST(CsvMultilineTest, LoneEmptyFieldRoundTrips) {
+  // Unquoted it would be a blank line, which the reader skips.
+  EXPECT_EQ(FormatCsvLine({""}), "\"\"");
+  const std::string path = TempPath("daisy_csv_lone_empty.csv");
+  const std::vector<std::vector<std::string>> rows{{"x"}, {""}, {"y"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(read, rows);
+}
+
+TEST(CsvCrlfTest, FormatQuotesCarriageReturns) {
+  // Without quoting, a trailing \r in a field would be eaten as a record
+  // terminator on the way back in.
+  EXPECT_EQ(FormatCsvLine({"a\r", "b"}), "\"a\r\",b");
+}
+
+// -------------------------------------------------------- malformed input --
+
+TEST(CsvMalformedTest, TextAfterClosingQuoteIsParseError) {
+  auto r = ParseCsvLine("\"ab\"cd");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  // Closing quote followed by the separator or end-of-line stays fine.
+  EXPECT_EQ(ParseCsvLine("\"ab\",cd").ValueOrDie(),
+            (std::vector<std::string>{"ab", "cd"}));
+  EXPECT_EQ(ParseCsvLine("\"ab\"").ValueOrDie(),
+            (std::vector<std::string>{"ab"}));
+  // Doubled quotes are still the escape, not a close-then-reopen.
+  EXPECT_EQ(ParseCsvLine("\"ab\"\"cd\"").ValueOrDie(),
+            (std::vector<std::string>{"ab\"cd"}));
+}
+
+TEST(CsvMalformedTest, FileReaderRejectsTextAfterClosingQuote) {
+  const std::string path = TempPath("daisy_csv_bad_quote.csv");
+  WriteRaw(path, "x,y\n\"ab\"cd,e\n");
+  auto read = ReadCsvFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+}
+
+// -------------------------------------------------- round-trip property --
+
+std::string RandomField(Rng* rng) {
+  static const char kAlphabet[] = {'a', 'b', ',', '"', '\n', '\r',
+                                   ';', ' ', 'x', '1', '\t'};
+  const size_t len = static_cast<size_t>(rng->UniformInt(0, 12));
+  std::string f;
+  for (size_t i = 0; i < len; ++i) {
+    f.push_back(kAlphabet[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(sizeof(kAlphabet)) - 1))]);
+  }
+  return f;
+}
+
+TEST(CsvPropertyTest, RandomRowsRoundTripAcross50Seeds) {
+  const std::string path = TempPath("daisy_csv_property.csv");
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    std::vector<std::vector<std::string>> rows;
+    const size_t num_rows = static_cast<size_t>(rng.UniformInt(1, 8));
+    const size_t num_cols = static_cast<size_t>(rng.UniformInt(1, 5));
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < num_cols; ++c) row.push_back(RandomField(&rng));
+      rows.push_back(std::move(row));
+    }
+    ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+    auto read = ReadCsvFile(path).ValueOrDie();
+    EXPECT_EQ(read, rows);
+  }
+}
+
+}  // namespace
+}  // namespace daisy
