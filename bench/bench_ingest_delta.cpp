@@ -67,6 +67,7 @@ std::vector<ViolationPair> Sorted(std::vector<ViolationPair> v) {
 
 int main() {
   WarmupHeap();
+  BenchJsonWriter json("ingest_delta");
   std::printf("# Ingest delta: DetectDelta vs full re-detection "
               "(base=%zu rows, p=%zu, dc=salary/tax)\n",
               kBaseRows, kPartitions);
@@ -109,6 +110,18 @@ int main() {
     std::printf("  %-8zu %12.4f %12.4f %14zu %14zu %8.1fx\n", batch_size,
                 delta_s, full_s, delta_pairs, full_pairs,
                 delta_s > 0 ? full_s / delta_s : 0.0);
+
+    BenchResult result;
+    result.name = "append_" + std::to_string(batch_size);
+    result.wall_ms = delta_s * 1e3;
+    result.counters = {{"full_ms", full_s * 1e3},
+                       {"delta_pairs", static_cast<double>(delta_pairs)},
+                       {"full_pairs", static_cast<double>(full_pairs)},
+                       {"speedup", delta_s > 0 ? full_s / delta_s : 0.0}};
+    result.config = {{"base_rows", std::to_string(kBaseRows)},
+                     {"partitions", std::to_string(kPartitions)},
+                     {"rule", kRule}};
+    json.Add(std::move(result));
   }
   return 0;
 }

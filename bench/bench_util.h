@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clean/daisy_engine.h"
@@ -108,6 +109,93 @@ inline OfflineRun RunOfflineWorkload(Database* db, const ConstraintSet& rules,
   run.total_seconds = run.clean_seconds + run.query_seconds;
   return run;
 }
+
+// ------------------------------------------------- machine-readable output --
+
+/// One measured result: a name, the wall time, and free-form numeric
+/// counters / string config. Serialized to BENCH_<bench>.json so the perf
+/// trajectory is trackable across PRs (compare files from two builds).
+struct BenchResult {
+  std::string name;
+  double wall_ms = 0;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects BenchResults and writes BENCH_<bench>.json into the working
+/// directory on Finish() (or destruction). JSON shape:
+///   {"bench": "...", "results": [{"name": ..., "wall_ms": ...,
+///    "counters": {...}, "config": {...}}, ...]}
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+  ~BenchJsonWriter() { Finish(); }
+
+  void Add(BenchResult result) { results_.push_back(std::move(result)); }
+
+  void Finish() {
+    if (done_) return;
+    done_ = true;
+    const std::string path = "BENCH_" + bench_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"results\": [",
+                 JsonEscape(bench_).c_str());
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::fprintf(f, "%s\n  {\"name\": \"%s\", \"wall_ms\": %.3f",
+                   i == 0 ? "" : ",", JsonEscape(r.name).c_str(), r.wall_ms);
+      std::fprintf(f, ", \"counters\": {");
+      for (size_t k = 0; k < r.counters.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %.6g", k == 0 ? "" : ", ",
+                     JsonEscape(r.counters[k].first).c_str(),
+                     r.counters[k].second);
+      }
+      std::fprintf(f, "}, \"config\": {");
+      for (size_t k = 0; k < r.config.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", k == 0 ? "" : ", ",
+                     JsonEscape(r.config[k].first).c_str(),
+                     JsonEscape(r.config[k].second).c_str());
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s (%zu results)\n", path.c_str(),
+                 results_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<BenchResult> results_;
+  bool done_ = false;
+};
 
 /// Prints a cumulative-time series (one line per query) in a
 /// gnuplot-friendly layout: "<query> <series1> <series2> ...".

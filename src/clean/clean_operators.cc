@@ -42,6 +42,39 @@ void CleanSelect::SyncRowCount() {
   }
 }
 
+CleanSelectPersistState CleanSelect::ExportPersistState() {
+  SyncRowCount();
+  CleanSelectPersistState state;
+  state.checked.reserve(checked_.size());
+  for (bool b : checked_) state.checked.push_back(b ? 1 : 0);
+  state.pending_rows = pending_rows_;
+  state.pending_deltas = pending_deltas_;
+  return state;
+}
+
+Status CleanSelect::ImportPersistState(const CleanSelectPersistState& state) {
+  if (state.checked.size() != table_->num_rows()) {
+    return Status::InvalidArgument(
+        "cleanσ state for " + dc_->name() + " covers " +
+        std::to_string(state.checked.size()) + " rows, table " +
+        table_->name() + " has " + std::to_string(table_->num_rows()));
+  }
+  checked_.assign(state.checked.size(), false);
+  checked_count_ = 0;
+  for (size_t r = 0; r < state.checked.size(); ++r) {
+    if (state.checked[r] != 0) {
+      checked_[r] = true;
+      ++checked_count_;
+    }
+  }
+  pending_rows_ = state.pending_rows;
+  pending_deltas_ = state.pending_deltas;
+  // The relaxation index stays lazy: its delta-maintained contents are
+  // bit-identical to a fresh build over the restored table.
+  relax_index_.reset();
+  return Status::OK();
+}
+
 void CleanSelect::ApplyDelta(const TableDelta& delta,
                              const std::vector<RowId>& stale_rows) {
   SyncRowCount();

@@ -54,6 +54,16 @@ struct CleanSelectResult {
   bool pruned = false;             ///< statistics pruning skipped cleaning
 };
 
+/// The persistable slice of one CleanSelect: everything that accrues across
+/// queries and cannot be re-derived from the table alone. Snapshotted by
+/// the persistence layer; the lazily built relaxation index is excluded
+/// (its delta-maintained state is bit-identical to a fresh build).
+struct CleanSelectPersistState {
+  std::vector<uint8_t> checked;        ///< one byte per row, 1 = checked
+  std::vector<RowId> pending_rows;     ///< ingested, not yet settled
+  std::vector<TableDelta> pending_deltas;  ///< DC rules: queued batches
+};
+
 /// cleanσ bound to one table and one rule. The per-rule checked bookkeeping
 /// lives here and persists across queries (Section 4.3: "Daisy maintains
 /// information about the already checked tuples by each rule").
@@ -105,6 +115,16 @@ class CleanSelect {
     }
     return theta_ == nullptr || theta_->QuiescentForReaders();
   }
+
+  /// Captures the cross-query bookkeeping for a snapshot (see
+  /// CleanSelectPersistState). Syncs the row count first so the bitmap
+  /// covers every physical row.
+  CleanSelectPersistState ExportPersistState();
+
+  /// Restores a previously exported state onto a freshly prepared operator
+  /// whose table already holds the snapshotted rows. Fails if the bitmap
+  /// does not match the table's physical row count.
+  Status ImportPersistState(const CleanSelectPersistState& state);
 
  private:
   Result<CleanSelectResult> RunFd(const Expr* filter,

@@ -58,6 +58,22 @@ class CostModel {
   size_t total_results() const { return sum_q_; }
   size_t total_errors() const { return sum_errors_; }
 
+  /// The complete ledger, for snapshotting: restoring it on a fresh model
+  /// reproduces every future switch decision of the original.
+  struct Ledger {
+    double cumulative = 0;
+    size_t queries = 0;
+    size_t sum_q = 0;
+    size_t sum_errors = 0;
+  };
+  Ledger ledger() const { return {cumulative_, queries_, sum_q_, sum_errors_}; }
+  void RestoreLedger(const Ledger& l) {
+    cumulative_ = l.cumulative;
+    queries_ = l.queries;
+    sum_q_ = l.sum_q;
+    sum_errors_ = l.sum_errors;
+  }
+
  private:
   double cumulative_ = 0;
   size_t queries_ = 0;

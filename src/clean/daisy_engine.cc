@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "persist/wal.h"
 #include "plan/planner.h"
 #include "query/parser.h"
 #include "repair/dc_repair.h"
@@ -193,10 +194,17 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
   if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
     return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
   }
+  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
   const uint64_t slot = ++epoch_;
   Result<QueryReport> report =
       ExecutePlanLocked(&plan, /*read_path=*/false, slot);
   RefreshDerivedState();
+  // A writer query mutated cleaning state (repairs, coverage, cost
+  // ledger): make it durable before acknowledging. Read-path queries are
+  // deliberately never logged — they have no state to replay.
+  if (report.ok() && wal_ != nullptr && !wal_replay_) {
+    DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalQuery(stmt)));
+  }
   return report;
 }
 
@@ -228,11 +236,17 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql) {
         ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
     return plan.Explain();
   }
+  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
   const uint64_t slot = ++epoch_;
   Result<QueryReport> report =
       ExecutePlanLocked(&plan, /*read_path=*/false, slot);
   RefreshDerivedState();
   DAISY_RETURN_IF_ERROR(report.status());
+  // Same cleaning side effects as a writer Query — replayed as one (the
+  // analyze rendering is a pure read on top).
+  if (wal_ != nullptr && !wal_replay_) {
+    DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalQuery(stmt)));
+  }
   return plan.Explain();
 }
 
@@ -240,11 +254,19 @@ Result<TableDelta> DaisyEngine::AppendRows(
     const std::string& table, std::vector<std::vector<Value>> rows) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  // Encoded before the move empties `rows`; appended only after the batch
+  // committed (a rejected batch must not replay).
+  std::string wal_payload;
+  if (wal_ != nullptr && !wal_replay_) {
+    wal_payload = persist::EncodeWalAppendRows(table, rows);
+  }
   DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->AppendRows(std::move(rows)));
   DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
   delta.engine_epoch = ++epoch_;
   RefreshDerivedState();
+  if (!wal_payload.empty()) DAISY_RETURN_IF_ERROR(LogWal(wal_payload));
   return delta;
 }
 
@@ -252,11 +274,17 @@ Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
                                            std::vector<RowId> ids) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  std::string wal_payload;
+  if (wal_ != nullptr && !wal_replay_) {
+    wal_payload = persist::EncodeWalDeleteRows(table, ids);
+  }
   DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->DeleteRows(std::move(ids)));
   DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
   delta.engine_epoch = ++epoch_;
   RefreshDerivedState();
+  if (!wal_payload.empty()) DAISY_RETURN_IF_ERROR(LogWal(wal_payload));
   return delta;
 }
 
@@ -306,6 +334,7 @@ Status DaisyEngine::ApplyDeltaToRules(const std::string& table_name,
 Status DaisyEngine::CleanAllRemaining() {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
   const CleaningOptions clean_opts = MakeCleaningOptions();
   for (auto& [name, state] : rules_) {
     if (state.op->fully_checked()) continue;
@@ -315,6 +344,7 @@ Status DaisyEngine::CleanAllRemaining() {
   }
   ++epoch_;
   RefreshDerivedState();
+  DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalCleanAll()));
   return Status::OK();
 }
 
@@ -322,10 +352,15 @@ Status DaisyEngine::ImportProvenance(const std::string& table,
                                      const ProvenanceStore& store) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
+  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   provenance_[table].MergeFrom(store, t);
   ++epoch_;
   RefreshDerivedState();
+  if (wal_ != nullptr && !wal_replay_) {
+    DAISY_RETURN_IF_ERROR(
+        LogWal(persist::EncodeWalImportProvenance(table, store.records())));
+  }
   return Status::OK();
 }
 

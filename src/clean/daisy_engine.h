@@ -35,6 +35,11 @@
 
 namespace daisy {
 
+namespace persist {
+class WalWriter;
+struct EngineSnapshot;
+}  // namespace persist
+
 /// Engine configuration.
 struct DaisyOptions {
   enum class Mode {
@@ -112,6 +117,9 @@ class DaisyEngine {
   /// `db` must outlive the engine. Constraints are moved in.
   DaisyEngine(Database* db, ConstraintSet constraints,
               DaisyOptions options = {});
+  ~DaisyEngine();
+  DaisyEngine(DaisyEngine&&) noexcept;
+  DaisyEngine& operator=(DaisyEngine&&) noexcept;
 
   /// Precomputes statistics and builds the per-rule operators. Must be
   /// called before Query().
@@ -158,6 +166,47 @@ class DaisyEngine {
   /// True once `rule` has checked every tuple of its table.
   Result<bool> RuleFullyChecked(const std::string& rule) const;
 
+  // --- Durable persistence (src/persist/, implemented in
+  // persist/engine_persist.cc). The cleaning investment every query makes
+  // (coverage, repairs, provenance) survives a restart: snapshots hold the
+  // full engine state, a write-ahead log makes each committed operation
+  // durable before its call returns, and Open() resumes with detector
+  // coverage and static pruning already warm.
+
+  /// Attaches a persistence directory to a prepared engine: creates it if
+  /// needed, writes the initial snapshot of the current state, and starts
+  /// the write-ahead log. From here on every committed writer operation
+  /// (ingest, writer queries, CleanAllRemaining, provenance imports) is
+  /// fsync'd to the log before the call returns. Fails if the directory
+  /// already holds a daisy snapshot (use Open() for that).
+  Status EnablePersistence(const std::string& dir);
+
+  /// Writes a fresh snapshot of the current state under the writer lock,
+  /// rotates the WAL (the new log starts empty), and deletes the previous
+  /// generation. Bounds recovery time: replay cost is proportional to the
+  /// operations since the last Checkpoint.
+  Status Checkpoint();
+
+  /// Recovers an engine from a persistence directory: loads the newest
+  /// valid snapshot into `db` (which must be empty and outlive the
+  /// engine), prepares the engine, restores the persisted cleaning state,
+  /// replays the WAL through the regular ingest/query machinery, truncates
+  /// any torn tail, and reopens the log for appending. The recovered
+  /// engine is bit-identical — outputs, counters, EXPLAIN, provenance —
+  /// to one that executed the same committed operations without
+  /// restarting. The semantics-affecting options (mode, accuracy
+  /// threshold, partitions, pruning switches) are adopted from the
+  /// snapshot so the replay runs under the config that produced the log;
+  /// only `options`' perf knobs (thread counts, columnar ablation) take
+  /// effect.
+  static Result<std::unique_ptr<DaisyEngine>> Open(const std::string& dir,
+                                                   Database* db,
+                                                   DaisyOptions options = {});
+
+  /// Directory attached by EnablePersistence/Open; empty when the engine
+  /// is memory-only.
+  const std::string& persistence_dir() const { return persist_dir_; }
+
   // Introspection accessors. The lookup itself is locked, but the
   // returned reference/pointer is NOT protected afterwards: concurrent
   // writer operations mutate the pointed-to state (repairs append
@@ -195,6 +244,22 @@ class DaisyEngine {
   /// the shared read path only ever reads fresh derived state.
   void RefreshDerivedState();
 
+  // Persistence internals (persist/engine_persist.cc). All run with the
+  // caller holding mu_ exclusively, except RestorePersistedState's WAL
+  // replay which re-enters the public operations.
+  Status WriteSnapshotLocked(const std::string& path);
+  Status RestoreEngineState(const persist::EngineSnapshot& snap);
+  /// Appends one encoded record to the WAL, if one is attached and this is
+  /// not a replay. Called at the end of a successful writer section. A
+  /// failed append poisons the WAL (see CheckWalHealthy).
+  Status LogWal(const std::string& payload);
+  /// Fail-stop guard, checked before any writer mutation while a WAL is
+  /// attached: after an append failure the in-memory state is one
+  /// acknowledged-as-failed operation ahead of the durable log, so no
+  /// further mutation may be accepted — the process should restart and
+  /// recover from disk.
+  Status CheckWalHealthy() const;
+
   Database* db_;
   ConstraintSet constraints_;
   DaisyOptions options_;
@@ -215,6 +280,17 @@ class DaisyEngine {
   /// Committed writer count; written under the exclusive lock, read under
   /// the shared lock. Reset by Prepare().
   uint64_t epoch_ = 0;
+
+  // Persistence state. Empty/null while the engine is memory-only.
+  std::string persist_dir_;
+  uint64_t persist_seq_ = 0;  ///< current (snapshot, wal) generation
+  std::unique_ptr<persist::WalWriter> wal_;
+  /// True while Open() replays the log: the replayed operations must not
+  /// be appended to it again.
+  bool wal_replay_ = false;
+  /// Set when a WAL append fails; every later writer operation is
+  /// rejected before mutating (fail-stop — see CheckWalHealthy).
+  bool wal_poisoned_ = false;
 };
 
 }  // namespace daisy

@@ -1,0 +1,145 @@
+#include "common/binary_io.h"
+
+#include <array>
+
+namespace daisy {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Value type tags of the binary encoding. Distinct from ValueType on
+// purpose: the on-disk numbering is frozen by the format version and must
+// not drift if the in-memory enum is ever reordered.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::AppendLe(const void* v, size_t n) {
+  // Little-endian byte order independent of the host: serialize byte by
+  // byte from the least significant end.
+  const uint8_t* src = static_cast<const uint8_t*>(v);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  buf_.append(reinterpret_cast<const char*>(src), n);
+#else
+  for (size_t i = 0; i < n; ++i) {
+    buf_.push_back(static_cast<char>(src[i]));
+  }
+#endif
+}
+
+void BinaryWriter::WriteValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      WriteU8(kTagNull);
+      return;
+    case ValueType::kInt:
+      WriteU8(kTagInt);
+      WriteI64(v.as_int());
+      return;
+    case ValueType::kDouble:
+      WriteU8(kTagDouble);
+      WriteDouble(v.as_double_raw());
+      return;
+    case ValueType::kString:
+      WriteU8(kTagString);
+      WriteString(v.as_string());
+      return;
+  }
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (len_ - pos_ < n) {
+    return Status::OutOfRange("binary decode: need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(pos_) +
+                              ", have " + std::to_string(len_ - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  DAISY_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  DAISY_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  DAISY_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  DAISY_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  DAISY_RETURN_IF_ERROR(Need(n));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<Value> BinaryReader::ReadValue() {
+  DAISY_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt: {
+      DAISY_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value(v);
+    }
+    case kTagDouble: {
+      DAISY_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Value(v);
+    }
+    case kTagString: {
+      DAISY_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value(std::move(v));
+    }
+    default:
+      return Status::ParseError("binary decode: unknown Value tag " +
+                                std::to_string(tag));
+  }
+}
+
+Result<uint64_t> BinaryReader::ReadCount(size_t min_element_bytes) {
+  DAISY_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+    return Status::ParseError(
+        "binary decode: element count " + std::to_string(n) +
+        " exceeds the " + std::to_string(remaining()) + " bytes left");
+  }
+  return n;
+}
+
+}  // namespace daisy

@@ -1,0 +1,115 @@
+// Bounds-checked little-endian binary encoding, the substrate of the
+// persistence layer (snapshot sections and WAL record payloads).
+//
+// BinaryWriter appends fixed-width little-endian integers, bit-exact
+// doubles (NaN/±Inf round-trip), and length-prefixed byte strings
+// (embedded NUL and arbitrary non-UTF-8 bytes are preserved) to a growable
+// buffer. BinaryReader is the strict inverse: every read validates the
+// remaining length and returns Status instead of walking past the end, so
+// a truncated or corrupted input surfaces as an error, never as undefined
+// behaviour. Value round-trips through a one-byte type tag; a null Value
+// and an empty string are distinct encodings by construction.
+
+#ifndef DAISY_COMMON_BINARY_IO_H_
+#define DAISY_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace daisy {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `len` bytes,
+/// continuing from `seed` (pass 0 to start a fresh checksum).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Append-only little-endian encoder over an owned byte buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+  /// Bit-exact: the IEEE-754 pattern is stored, so NaN payloads, -0.0 and
+  /// infinities survive the round trip.
+  void WriteDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  /// u32 length + raw bytes (no terminator; NUL-safe).
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  void WriteValue(const Value& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendLe(const void* v, size_t n);
+
+  std::string buf_;
+};
+
+/// Strict decoder over a borrowed byte range. The range must outlive the
+/// reader. Every accessor checks bounds and fails with OutOfRange on a
+/// short read.
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit BinaryReader(const std::string& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32() {
+    DAISY_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+    return static_cast<int32_t>(v);
+  }
+  Result<int64_t> ReadI64() {
+    DAISY_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    return static_cast<int64_t>(v);
+  }
+  Result<double> ReadDouble() {
+    DAISY_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> ReadString();
+  Result<Value> ReadValue();
+
+  /// Reads a u64 element count and validates it against the bytes left,
+  /// assuming each element needs at least `min_element_bytes` — a corrupted
+  /// count then fails fast instead of driving a multi-gigabyte reserve.
+  Result<uint64_t> ReadCount(size_t min_element_bytes);
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_BINARY_IO_H_

@@ -169,6 +169,52 @@ size_t ThetaJoinDetector::ConsumeRetractions() {
   return count;
 }
 
+ThetaPersistState ThetaJoinDetector::ExportState() {
+  EnsureFresh();
+  ThetaPersistState state;
+  state.checked.reserve(checked_.size());
+  for (bool b : checked_) state.checked.push_back(b ? 1 : 0);
+  state.integrated_rows = integrated_rows_;
+  state.deleted_log_pos = deleted_log_pos_;
+  state.retractions = retractions_;
+  state.maintained = maintained_;
+  return state;
+}
+
+Status ThetaJoinDetector::ImportState(const ThetaPersistState& state) {
+  // Partitions / compiled atoms first: after this the detector is fresh
+  // against the restored table, with a blank coverage we overwrite below.
+  EnsureFresh();
+  if (state.checked.size() != table_->num_rows()) {
+    return Status::InvalidArgument(
+        "theta state for " + dc_->name() + " covers " +
+        std::to_string(state.checked.size()) + " rows, table " +
+        table_->name() + " has " + std::to_string(table_->num_rows()));
+  }
+  if (state.integrated_rows > table_->num_rows() ||
+      state.deleted_log_pos != table_->deleted_rows_log().size()) {
+    return Status::InvalidArgument("theta state for " + dc_->name() +
+                                   " does not match the table's ingest log");
+  }
+  for (const ViolationPair& p : state.maintained) {
+    if (p.t1 >= table_->num_rows() || p.t2 >= table_->num_rows()) {
+      return Status::InvalidArgument("theta state for " + dc_->name() +
+                                     " names an out-of-range violation row");
+    }
+  }
+  checked_.assign(state.checked.size(), false);
+  checked_count_ = 0;
+  for (RowId r = 0; r < state.checked.size(); ++r) {
+    if (state.checked[r] != 0) MarkRowChecked(r);
+  }
+  integrated_rows_ = state.integrated_rows;
+  deleted_log_pos_ = state.deleted_log_pos;
+  retractions_ = state.retractions;
+  maintained_ = state.maintained;
+  range_vio_valid_ = false;
+  return Status::OK();
+}
+
 void ThetaJoinDetector::BuildPartitions() {
   ColumnCache& cache = table_->columns();
   const std::vector<size_t>& cols = dc_->involved_columns();

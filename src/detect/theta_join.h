@@ -95,6 +95,18 @@ bool RangeFeasible(double lmin, double lmax, CompareOp op, double rmin,
 
 }  // namespace detail
 
+/// The persistable slice of a ThetaJoinDetector: the coverage and the
+/// maintained violation set — the state whose loss would force a restarted
+/// engine to pay a full O(n²) re-detection. Partitions, compiled atoms and
+/// estimate caches are re-derived from the table on import.
+struct ThetaPersistState {
+  std::vector<uint8_t> checked;  ///< one byte per row, 1 = cross-checked
+  uint64_t integrated_rows = 0;
+  uint64_t deleted_log_pos = 0;
+  uint64_t retractions = 0;
+  std::vector<ViolationPair> maintained;
+};
+
 /// Stateful detector bound to one table + one (non-FD) denial constraint.
 /// The state tracks which rows have been cross-checked so far, making
 /// repeated calls incremental exactly as in the paper.
@@ -190,6 +202,17 @@ class ThetaJoinDetector {
 
   /// DetectAll worker-pool size; clamped to at least 1.
   void set_threads(size_t threads) { threads_ = threads == 0 ? 1 : threads; }
+
+  /// Captures the coverage state for a snapshot (syncs with the table
+  /// first, so pending deltas are folded in before the copy).
+  ThetaPersistState ExportState();
+
+  /// Restores a previously exported coverage state onto a detector freshly
+  /// constructed over the snapshotted table. The partitions and compiled
+  /// atoms are rebuilt from the live table; only the coverage, the
+  /// integration watermarks, and the maintained violation set are
+  /// installed. Fails if the state does not match the table's dimensions.
+  Status ImportState(const ThetaPersistState& state);
 
  private:
   struct PartitionStats {

@@ -1,0 +1,348 @@
+// DaisyEngine's durable-persistence surface: EnablePersistence /
+// Checkpoint / Open and the WAL append hook. Lives in persist/ so the
+// engine core stays free of on-disk format knowledge; these are member
+// functions because they capture and restore private engine state.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+#include "clean/daisy_engine.h"
+#include "persist/format.h"
+#include "persist/io_util.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace daisy {
+
+namespace {
+
+std::string SeqName(const char* prefix, uint64_t seq, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%06" PRIu64 "%s", prefix, seq, suffix);
+  return buf;
+}
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  return dir + "/" + SeqName("snapshot-", seq, ".dsnap");
+}
+
+std::string WalPath(const std::string& dir, uint64_t seq) {
+  return dir + "/" + SeqName("wal-", seq, ".dwal");
+}
+
+/// Parses "snapshot-NNNNNN.dsnap" into NNNNNN; nullopt for other names.
+bool ParseSnapshotSeq(const std::string& name, uint64_t* seq) {
+  const std::string prefix = "snapshot-";
+  const std::string suffix = ".dsnap";
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+DaisyEngine::~DaisyEngine() = default;
+DaisyEngine::DaisyEngine(DaisyEngine&&) noexcept = default;
+DaisyEngine& DaisyEngine::operator=(DaisyEngine&&) noexcept = default;
+
+Status DaisyEngine::LogWal(const std::string& payload) {
+  if (wal_ == nullptr || wal_replay_) return Status::OK();
+  const Status appended = wal_->Append(payload);
+  if (!appended.ok()) wal_poisoned_ = true;
+  return appended;
+}
+
+Status DaisyEngine::CheckWalHealthy() const {
+  if (wal_ != nullptr && wal_poisoned_) {
+    return Status::IOError(
+        "persistence failed on an earlier operation; the engine is "
+        "fail-stopped — restart and recover with DaisyEngine::Open(" +
+        persist_dir_ + ")");
+  }
+  return Status::OK();
+}
+
+Status DaisyEngine::WriteSnapshotLocked(const std::string& path) {
+  persist::EngineSnapshotView view;
+  view.epoch = epoch_;
+  view.options.mode =
+      options_.mode == DaisyOptions::Mode::kIncremental ? 0 : 1;
+  view.options.accuracy_threshold = options_.accuracy_threshold;
+  view.options.theta_partitions = options_.theta_partitions;
+  view.options.use_statistics_pruning = options_.use_statistics_pruning;
+  view.options.theta_pruning = options_.theta_pruning;
+  for (const std::string& name : db_->TableNames()) {
+    DAISY_ASSIGN_OR_RETURN(const Table* table,
+                           static_cast<const Database*>(db_)->GetTable(name));
+    view.tables.push_back(table);
+  }
+  view.constraints = &constraints_;
+  view.provenance = &provenance_;
+  for (auto& [name, state] : rules_) {
+    persist::RuleSnapshot rs;
+    rs.rule = name;
+    rs.op = state.op->ExportPersistState();
+    rs.cost = state.cost.ledger();
+    if (state.theta != nullptr) {
+      rs.has_theta = true;
+      rs.theta = state.theta->ExportState();
+    }
+    view.rules.push_back(std::move(rs));
+  }
+  return persist::WriteSnapshot(path, view);
+}
+
+Status DaisyEngine::EnablePersistence(const std::string& dir) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (!prepared_) return Status::Internal("Prepare() must be called first");
+  if (!persist_dir_.empty()) {
+    return Status::AlreadyExists("persistence already enabled at " +
+                                 persist_dir_);
+  }
+  DAISY_RETURN_IF_ERROR(persist::EnsureDirectory(dir));
+  DAISY_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         persist::ListDirectory(dir));
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseSnapshotSeq(name, &seq)) {
+      return Status::AlreadyExists(
+          dir + " already holds " + name +
+          " — recover it with DaisyEngine::Open instead");
+    }
+  }
+  const uint64_t seq = 1;
+  DAISY_RETURN_IF_ERROR(WriteSnapshotLocked(SnapshotPath(dir, seq)));
+  DAISY_ASSIGN_OR_RETURN(wal_, persist::WalWriter::Create(WalPath(dir, seq)));
+  DAISY_RETURN_IF_ERROR(persist::SyncDirectory(dir));
+  persist_dir_ = dir;
+  persist_seq_ = seq;
+  return Status::OK();
+}
+
+Status DaisyEngine::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (wal_ == nullptr) {
+    return Status::Internal("Checkpoint() requires EnablePersistence/Open");
+  }
+  const uint64_t next = persist_seq_ + 1;
+  // Order matters for crash safety: the new snapshot and its (empty) WAL
+  // become durable before anything of generation N disappears, so a crash
+  // at any point leaves at least one complete generation on disk. Open()
+  // prefers the newest parseable snapshot.
+  DAISY_RETURN_IF_ERROR(WriteSnapshotLocked(SnapshotPath(persist_dir_, next)));
+  // If the rotation cannot complete, remove the new snapshot again: the
+  // engine keeps logging to generation N, and an orphan snapshot N+1
+  // would win the next Open and silently hide wal-N's records.
+  Status rotated = Status::OK();
+  std::unique_ptr<persist::WalWriter> next_wal;
+  {
+    Result<std::unique_ptr<persist::WalWriter>> created =
+        persist::WalWriter::Create(WalPath(persist_dir_, next));
+    if (created.ok()) {
+      next_wal = std::move(created).value();
+      rotated = persist::SyncDirectory(persist_dir_);
+    } else {
+      rotated = created.status();
+    }
+  }
+  if (!rotated.ok()) {
+    (void)persist::RemoveFileIfExists(WalPath(persist_dir_, next));
+    (void)persist::RemoveFileIfExists(SnapshotPath(persist_dir_, next));
+    (void)persist::SyncDirectory(persist_dir_);
+    return rotated;
+  }
+  wal_ = std::move(next_wal);
+  DAISY_RETURN_IF_ERROR(
+      persist::RemoveFileIfExists(WalPath(persist_dir_, persist_seq_)));
+  DAISY_RETURN_IF_ERROR(
+      persist::RemoveFileIfExists(SnapshotPath(persist_dir_, persist_seq_)));
+  DAISY_RETURN_IF_ERROR(persist::SyncDirectory(persist_dir_));
+  persist_seq_ = next;
+  return Status::OK();
+}
+
+Status DaisyEngine::RestoreEngineState(const persist::EngineSnapshot& snap) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (snap.rules.size() != rules_.size()) {
+    return Status::InvalidArgument(
+        "snapshot has state for " + std::to_string(snap.rules.size()) +
+        " rules, engine prepared " + std::to_string(rules_.size()));
+  }
+  for (const persist::RuleSnapshot& rs : snap.rules) {
+    auto it = rules_.find(rs.rule);
+    if (it == rules_.end()) {
+      return Status::InvalidArgument("snapshot names unknown rule '" +
+                                     rs.rule + "'");
+    }
+    RuleState& state = it->second;
+    if (rs.has_theta != (state.theta != nullptr)) {
+      return Status::InvalidArgument("snapshot and engine disagree on the "
+                                     "detector kind of rule '" +
+                                     rs.rule + "'");
+    }
+    DAISY_RETURN_IF_ERROR(state.op->ImportPersistState(rs.op));
+    state.cost.RestoreLedger(rs.cost);
+    if (state.theta != nullptr) {
+      DAISY_RETURN_IF_ERROR(state.theta->ImportState(rs.theta));
+    }
+  }
+  for (const auto& [table, records] : snap.provenance) {
+    if (!db_->HasTable(table)) {
+      return Status::InvalidArgument("snapshot provenance names unknown "
+                                     "table '" + table + "'");
+    }
+    provenance_[table].RestoreRecords(records);
+  }
+  epoch_ = snap.epoch;
+  RefreshDerivedState();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
+                                                       Database* db,
+                                                       DaisyOptions options) {
+  if (!db->TableNames().empty()) {
+    return Status::InvalidArgument(
+        "DaisyEngine::Open requires an empty Database");
+  }
+  DAISY_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         persist::ListDirectory(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseSnapshotSeq(name, &seq)) seqs.push_back(seq);
+  }
+  if (seqs.empty()) {
+    return Status::NotFound("no daisy snapshot in " + dir);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  // Newest parseable snapshot wins; a corrupt newest generation (torn
+  // Checkpoint, disk damage) falls back to its predecessor, whose WAL is
+  // only deleted after the successor is fully durable.
+  persist::EngineSnapshot snap;
+  uint64_t seq = 0;
+  Status last_error = Status::OK();
+  bool loaded = false;
+  for (size_t i = seqs.size(); i-- > 0 && !loaded;) {
+    Result<persist::EngineSnapshot> parsed =
+        persist::ReadSnapshot(SnapshotPath(dir, seqs[i]));
+    if (parsed.ok()) {
+      snap = std::move(parsed).value();
+      seq = seqs[i];
+      loaded = true;
+    } else {
+      last_error = parsed.status();
+    }
+  }
+  if (!loaded) {
+    return Status::IOError("no loadable snapshot in " + dir + ": " +
+                           last_error.ToString());
+  }
+
+  for (Table& table : snap.tables) {
+    DAISY_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+  snap.tables.clear();
+  ConstraintSet constraints;
+  for (DenialConstraint& dc : snap.constraints) {
+    DAISY_RETURN_IF_ERROR(constraints.Add(std::move(dc)));
+  }
+  snap.constraints.clear();
+
+  // The semantics-affecting options travel with the state: replaying the
+  // WAL under a different mode/threshold/pruning config would diverge
+  // from the engine that wrote it. The caller's perf knobs (thread
+  // counts, columnar ablation) are kept — results are deterministic
+  // across those by contract.
+  options.mode = snap.options.mode == 0 ? DaisyOptions::Mode::kIncremental
+                                        : DaisyOptions::Mode::kAdaptive;
+  options.accuracy_threshold = snap.options.accuracy_threshold;
+  options.theta_partitions = snap.options.theta_partitions;
+  options.use_statistics_pruning = snap.options.use_statistics_pruning;
+  options.theta_pruning = snap.options.theta_pruning;
+  auto engine =
+      std::make_unique<DaisyEngine>(db, std::move(constraints), options);
+  DAISY_RETURN_IF_ERROR(engine->Prepare());
+  DAISY_RETURN_IF_ERROR(engine->RestoreEngineState(snap));
+
+  // Replay the delta log through the regular machinery. A missing WAL is a
+  // crash between a Checkpoint's snapshot rename and its WAL creation —
+  // equivalent to an empty log.
+  const std::string wal_path = WalPath(dir, seq);
+  Result<persist::WalContents> wal = persist::ReadWal(wal_path);
+  uint64_t valid_bytes = 0;
+  bool have_wal_file = wal.ok();
+  if (!have_wal_file && wal.status().code() != StatusCode::kNotFound) {
+    return wal.status();
+  }
+  if (have_wal_file && !wal.value().header_valid) {
+    // Crash inside the WAL creation of EnablePersistence/Checkpoint: the
+    // log is empty; recreate it below with a fresh header.
+    have_wal_file = false;
+  }
+  if (have_wal_file) {
+    engine->wal_replay_ = true;
+    for (const std::string& payload : wal.value().payloads) {
+      DAISY_ASSIGN_OR_RETURN(persist::WalRecord record,
+                             persist::DecodeWalRecord(payload));
+      Status applied = Status::OK();
+      switch (record.type) {
+        case persist::kWalAppendRows:
+          applied = engine->AppendRows(record.table, std::move(record.rows))
+                        .status();
+          break;
+        case persist::kWalDeleteRows:
+          applied = engine->DeleteRows(record.table, std::move(record.ids))
+                        .status();
+          break;
+        case persist::kWalQuery:
+          applied = engine->Query(record.stmt).status();
+          break;
+        case persist::kWalCleanAll:
+          applied = engine->CleanAllRemaining();
+          break;
+        case persist::kWalImportProvenance: {
+          ProvenanceStore store;
+          store.RestoreRecords(std::move(record.provenance));
+          applied = engine->ImportProvenance(record.table, store);
+          break;
+        }
+        default:
+          applied = Status::Internal("unreplayable WAL record type " +
+                                     std::to_string(record.type));
+      }
+      if (!applied.ok()) {
+        engine->wal_replay_ = false;
+        return Status::Internal("WAL replay of " + wal_path +
+                                " failed: " + applied.ToString());
+      }
+    }
+    engine->wal_replay_ = false;
+    valid_bytes = wal.value().valid_bytes;
+  }
+
+  if (have_wal_file) {
+    DAISY_ASSIGN_OR_RETURN(engine->wal_, persist::WalWriter::OpenForAppend(
+                                             wal_path, valid_bytes));
+  } else {
+    DAISY_ASSIGN_OR_RETURN(engine->wal_, persist::WalWriter::Create(wal_path));
+    DAISY_RETURN_IF_ERROR(persist::SyncDirectory(dir));
+  }
+  engine->persist_dir_ = dir;
+  engine->persist_seq_ = seq;
+  return engine;
+}
+
+}  // namespace daisy

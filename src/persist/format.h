@@ -1,0 +1,75 @@
+// On-disk format constants of the persistence layer.
+//
+// A persistence directory holds one snapshot plus one write-ahead log per
+// generation, named by a six-digit sequence number:
+//
+//   snapshot-000042.dsnap   full engine state as of some epoch
+//   wal-000042.dwal         every durable operation committed since
+//
+// Checkpoint() writes snapshot-(N+1) (tmp file + rename, both fsync'd),
+// starts wal-(N+1), and only then deletes generation N — so at every
+// instant at least one complete (snapshot, wal) pair exists on disk.
+//
+// Snapshot layout:
+//
+//   [8]  magic "DSYSNAP\x01"
+//   [4]  format version (u32 LE)
+//   then a sequence of sections, each:
+//   [4]  section id (u32 LE)       [8] payload length (u64 LE)
+//   [.]  payload                   [4] CRC-32 of the payload
+//   terminated by section id kSectionEnd with an empty payload.
+//
+// Every payload is encoded with common/binary_io.h (bounds-checked on
+// read). A reader rejects the file on bad magic, unknown version, short
+// section, or CRC mismatch — Open() then falls back to the previous
+// generation if one survives.
+//
+// WAL layout:
+//
+//   [8]  magic "DSYWAL\x01\x00"
+//   then a sequence of records, each:
+//   [4]  payload length (u32 LE)   [4] CRC-32 of the payload
+//   [.]  payload (first byte = record type)
+//
+// Records are appended with a single write() and fsync'd before the
+// mutating call returns, so a record is either durable in full or absent.
+// On recovery the reader stops at the first incomplete or CRC-corrupt
+// record (a torn tail from a crash mid-append), truncates it away, and
+// never applies half a record.
+
+#ifndef DAISY_PERSIST_FORMAT_H_
+#define DAISY_PERSIST_FORMAT_H_
+
+#include <cstdint>
+
+namespace daisy {
+namespace persist {
+
+inline constexpr char kSnapshotMagic[8] = {'D', 'S', 'Y', 'S',
+                                           'N', 'A', 'P', '\x01'};
+inline constexpr char kWalMagic[8] = {'D', 'S', 'Y', 'W',
+                                      'A', 'L', '\x01', '\x00'};
+
+/// Bumped on any incompatible change to the section payload encodings. A
+/// checked-in v1 fixture pins backward compatibility in the test suite.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// Section ids. New sections get fresh ids; ids are never reused.
+inline constexpr uint32_t kSectionEnd = 0;
+inline constexpr uint32_t kSectionMeta = 1;        ///< epoch, counts
+inline constexpr uint32_t kSectionTables = 2;      ///< columnar table data
+inline constexpr uint32_t kSectionConstraints = 3; ///< bound rule definitions
+inline constexpr uint32_t kSectionRuleStates = 4;  ///< per-rule cleaning state
+inline constexpr uint32_t kSectionProvenance = 5;  ///< per-table repair records
+
+// WAL record types (first payload byte).
+inline constexpr uint8_t kWalAppendRows = 1;
+inline constexpr uint8_t kWalDeleteRows = 2;
+inline constexpr uint8_t kWalQuery = 3;        ///< a writer query (repairs)
+inline constexpr uint8_t kWalCleanAll = 4;     ///< CleanAllRemaining marker
+inline constexpr uint8_t kWalImportProvenance = 5;
+
+}  // namespace persist
+}  // namespace daisy
+
+#endif  // DAISY_PERSIST_FORMAT_H_

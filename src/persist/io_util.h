@@ -1,0 +1,42 @@
+// Small POSIX file helpers shared by the snapshot and WAL code paths:
+// whole-file reads, atomic (tmp + rename + directory fsync) writes, and
+// directory listing/creation. All fallible operations return Status.
+
+#ifndef DAISY_PERSIST_IO_UTIL_H_
+#define DAISY_PERSIST_IO_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace daisy {
+namespace persist {
+
+/// Reads the entire file into a string.
+Result<std::string> ReadFileFully(const std::string& path);
+
+/// Durably replaces `path` with `bytes`: writes `path + ".tmp"`, fsyncs
+/// it, renames it over `path`, and fsyncs the parent directory so the
+/// rename itself survives a crash.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Creates `dir` if missing (one level; parents must exist).
+Status EnsureDirectory(const std::string& dir);
+
+/// Names (not paths) of the directory's entries, sorted ascending.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+/// Deletes a file; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Truncates `path` to `size` bytes and fsyncs it (torn-tail cleanup).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Fsyncs the directory entry list (used after create/rename/unlink).
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace persist
+}  // namespace daisy
+
+#endif  // DAISY_PERSIST_IO_UTIL_H_

@@ -101,6 +101,18 @@ class ProvenanceStore {
 
   using CellKey = std::pair<RowId, size_t>;
 
+  /// Read-only view of every record, for snapshot serialization.
+  const std::map<CellKey, std::vector<RepairRecord>>& records() const {
+    return records_;
+  }
+
+  /// Installs records wholesale without rebuilding any cell — the
+  /// recovery path's import, where the snapshot's cells already carry the
+  /// candidate sets these records would rebuild.
+  void RestoreRecords(std::map<CellKey, std::vector<RepairRecord>> records) {
+    records_ = std::move(records);
+  }
+
  private:
   std::map<CellKey, std::vector<RepairRecord>>::iterator PruneRuleFromEntry(
       Table* table, std::map<CellKey, std::vector<RepairRecord>>::iterator it,

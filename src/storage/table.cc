@@ -240,6 +240,34 @@ void Table::ResetToOriginal() {
   BumpAllColumns();
 }
 
+Status Table::RestorePersistedState(std::vector<RowId> deleted_log,
+                                    uint64_t append_version,
+                                    uint64_t delta_generation) {
+  std::vector<uint8_t> live(rows_.size(), 1);
+  for (RowId r : deleted_log) {
+    if (r >= rows_.size()) {
+      return Status::InvalidArgument(
+          "persisted tombstone " + std::to_string(r) +
+          " out of range for table " + name_ + " (" +
+          std::to_string(rows_.size()) + " rows)");
+    }
+    if (live[r] == 0) {
+      return Status::InvalidArgument("persisted tombstone " +
+                                     std::to_string(r) +
+                                     " repeats in table " + name_);
+    }
+    live[r] = 0;
+  }
+  live_ = std::move(live);
+  num_dead_ = deleted_log.size();
+  deleted_log_ = std::move(deleted_log);
+  append_version_ = append_version;
+  delta_generation_ = delta_generation;
+  cache_ptr_.store(nullptr, std::memory_order_release);
+  cache_.reset();
+  return Status::OK();
+}
+
 Result<Table> Table::FromCsv(const std::string& path, const std::string& name,
                              const Schema& schema, bool has_header) {
   DAISY_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));

@@ -186,6 +186,17 @@ class Table {
   /// Reverts every cell to its original value (drops all repairs).
   void ResetToOriginal();
 
+  /// Snapshot-recovery hook: installs the ingest history of a persisted
+  /// table after its rows were re-appended (AppendRowUnchecked). The ids
+  /// in `deleted_log` become tombstones in log order, and the two ingest
+  /// counters are set to the persisted values so post-recovery deltas
+  /// continue the original numbering. Any derived column cache is dropped.
+  /// Fails (leaving the table untouched) on an out-of-range or duplicate
+  /// deleted id.
+  Status RestorePersistedState(std::vector<RowId> deleted_log,
+                               uint64_t append_version,
+                               uint64_t delta_generation);
+
   /// Loads rows from a CSV file with the given schema. If `has_header`,
   /// the first row is skipped after validating column names.
   static Result<Table> FromCsv(const std::string& path,
