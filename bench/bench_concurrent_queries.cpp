@@ -13,8 +13,19 @@
 // Wall-clock scaling requires physical cores; on a 1-CPU container the
 // rows stay flat but the protocol overhead is still visible in the
 // 1-thread row.
+//
+// Two robustness legs ride along (emitted to BENCH_concurrent_queries.json
+// with everything else): degraded-read-only serving — the same read mix
+// against an engine whose persistence failed mid-checkpoint, which must
+// serve at essentially healthy throughput since reads never touch the I/O
+// layer — and the WAL-append Env indirection overhead, comparing ingest
+// through the default POSIX Env against the counting FaultInjectingEnv
+// with no faults armed (the virtual-dispatch + accounting cost; the ratio
+// should be ~1).
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +33,7 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "persist/fault_env.h"
 
 using namespace daisy;
 using namespace daisy::bench;
@@ -84,10 +96,22 @@ void ClientThread(DaisyEngine* engine, size_t* served) {
   }
 }
 
+/// Fresh /tmp scratch directory for the persistence-backed legs.
+std::string ScratchDir() {
+  char tmpl[] = "/tmp/daisy_bench_concurrent_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "[bench] mkdtemp failed\n");
+    std::exit(1);
+  }
+  return std::string(dir);
+}
+
 }  // namespace
 
 int main() {
   WarmupHeap();
+  BenchJsonWriter json("concurrent_queries");
 
   std::printf("# Concurrent read serving: %zu-row table, fully cleaned, "
               "%zu queries/thread\n",
@@ -117,6 +141,13 @@ int main() {
     if (clients == 1) base_qps = qps;
     std::printf("  %-16zu %10zu %10.3f %12.1f %8.2fx\n", clients, total,
                 wall, qps, qps / base_qps);
+    BenchResult r;
+    r.name = "read_serving_clients_" + std::to_string(clients);
+    r.wall_ms = wall * 1000;
+    r.counters = {{"queries", static_cast<double>(total)},
+                  {"queries_per_s", qps},
+                  {"speedup_vs_1", qps / base_qps}};
+    json.Add(std::move(r));
   }
 
   std::printf("\n# Morsel-parallel filter: one client, "
@@ -138,6 +169,112 @@ int main() {
     if (workers == 1) base_morsel_qps = qps;
     std::printf("  %-16zu %10.3f %12.1f %8.2fx\n", workers, wall, qps,
                 qps / base_morsel_qps);
+    BenchResult r;
+    r.name = "morsel_filter_workers_" + std::to_string(workers);
+    r.wall_ms = wall * 1000;
+    r.counters = {{"queries_per_s", qps},
+                  {"speedup_vs_1", qps / base_morsel_qps}};
+    json.Add(std::move(r));
+  }
+
+  // ----------------------------------------- degraded-read-only serving --
+  // Persistence dies mid-checkpoint (injected fsync failure), the engine
+  // degrades to read-only, and the same read mix keeps hammering it: reads
+  // never touch the Env, so throughput should track the healthy 1-thread
+  // row. The health gate is one branch per query.
+  std::printf("\n# Degraded-read-only serving: reads after a failed "
+              "checkpoint (writers rejected)\n");
+  std::printf("# %-16s %10s %12s %14s\n", "clients", "wall_s", "queries/s",
+              "vs_healthy_1t");
+  for (size_t clients : {size_t{1}, size_t{4}}) {
+    Database db;
+    CheckOk(db.AddTable(BaseTable(7)), "add table");
+    persist::FaultInjectingEnv fenv;  // must outlive the engine's WAL file
+    std::unique_ptr<DaisyEngine> engine = MakeCleanEngine(&db, 1);
+    CheckOk(engine->EnablePersistence(ScratchDir() + "/state", &fenv),
+            "enable persistence");
+    fenv.FailNthSync(fenv.syncs() + 1, EIO);
+    if (engine->Checkpoint().ok()) {
+      std::fprintf(stderr, "[bench] checkpoint survived injected fault\n");
+      return 1;
+    }
+    if (engine->Health().state != EngineHealth::kDegradedReadOnly) {
+      std::fprintf(stderr, "[bench] engine did not degrade\n");
+      return 1;
+    }
+    (void)UnwrapOrDie(engine->Query(QueryFor(0)), "warm query");
+
+    std::vector<size_t> served(clients, 0);
+    Timer timer;
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      pool.emplace_back(ClientThread, engine.get(), &served[c]);
+    }
+    for (std::thread& t : pool) t.join();
+    const double wall = timer.ElapsedSeconds();
+    size_t total = 0;
+    for (size_t s : served) total += s;
+    const double qps = static_cast<double>(total) / wall;
+    std::printf("  %-16zu %10.3f %12.1f %13.2fx\n", clients, wall, qps,
+                qps / base_qps);
+    BenchResult r;
+    r.name = "degraded_read_only_clients_" + std::to_string(clients);
+    r.wall_ms = wall * 1000;
+    r.counters = {{"queries_per_s", qps},
+                  {"ratio_vs_healthy_1t", qps / base_qps}};
+    r.config = {{"health", "degraded-read-only"}};
+    json.Add(std::move(r));
+  }
+
+  // -------------------------------------- WAL-append Env indirection -----
+  // Ingest through the default POSIX Env vs the counting FaultInjectingEnv
+  // with no faults armed. The table has no rules, so each AppendRows is
+  // table mutation + WAL encode/append/fsync — the leg isolates the I/O
+  // path the indirection wrapped.
+  std::printf("\n# WAL-append Env indirection: %d appends x %d rows, "
+              "rule-free table\n", 400, 32);
+  std::printf("# %-16s %10s %12s %9s\n", "env", "wall_s", "appends/s",
+              "ratio");
+  constexpr size_t kAppendBatches = 400;
+  constexpr size_t kAppendBatchRows = 32;
+  double default_env_aps = 0;
+  for (const bool faulting : {false, true}) {
+    Database db;
+    Table t("log", Schema({{"k", ValueType::kInt}, {"x", ValueType::kDouble}}));
+    CheckOk(db.AddTable(std::move(t)), "add log table");
+    persist::FaultInjectingEnv fenv;  // must outlive the engine's WAL file
+    auto engine =
+        std::make_unique<DaisyEngine>(&db, ConstraintSet{}, DaisyOptions{});
+    CheckOk(engine->Prepare(), "prepare");
+    CheckOk(engine->EnablePersistence(ScratchDir() + "/state",
+                                      faulting ? &fenv : nullptr),
+            "enable persistence");
+    Rng rng(11);
+    Timer timer;
+    for (size_t i = 0; i < kAppendBatches; ++i) {
+      std::vector<std::vector<Value>> rows;
+      rows.reserve(kAppendBatchRows);
+      for (size_t j = 0; j < kAppendBatchRows; ++j) {
+        rows.push_back({Value(static_cast<int64_t>(i * kAppendBatchRows + j)),
+                        Value(rng.UniformDouble(0, 1))});
+      }
+      (void)UnwrapOrDie(engine->AppendRows("log", std::move(rows)),
+                        "append batch");
+    }
+    const double wall = timer.ElapsedSeconds();
+    const double aps = static_cast<double>(kAppendBatches) / wall;
+    if (!faulting) default_env_aps = aps;
+    std::printf("  %-16s %10.3f %12.1f %8.2fx\n",
+                faulting ? "fault_env" : "posix_default", wall, aps,
+                aps / default_env_aps);
+    BenchResult r;
+    r.name = std::string("wal_append_env_") +
+             (faulting ? "fault_counting" : "posix_default");
+    r.wall_ms = wall * 1000;
+    r.counters = {{"appends_per_s", aps},
+                  {"ratio_vs_default", aps / default_env_aps}};
+    json.Add(std::move(r));
   }
   return 0;
 }

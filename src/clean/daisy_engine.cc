@@ -46,10 +46,90 @@ void ApplyEnvOverrides(DaisyOptions* options) {
   }
 }
 
+const char* EngineHealthToString(EngineHealth health) {
+  switch (health) {
+    case EngineHealth::kHealthy:
+      return "healthy";
+    case EngineHealth::kDegradedReadOnly:
+      return "degraded-read-only";
+    case EngineHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 DaisyEngine::DaisyEngine(Database* db, ConstraintSet constraints,
                          DaisyOptions options)
     : db_(db), constraints_(std::move(constraints)), options_(options) {
   ApplyEnvOverrides(&options_);
+}
+
+void DaisyEngine::TransitionLocked(EngineHealth to, const Status& cause) {
+  if (health_ == to) return;
+  HealthTransition t;
+  t.from = health_;
+  t.to = to;
+  t.reason = cause.ok() ? std::string("recovered") : cause.ToString();
+  std::fprintf(stderr, "[daisy] engine health: %s -> %s (%s)\n",
+               EngineHealthToString(t.from), EngineHealthToString(t.to),
+               t.reason.c_str());
+  health_log_.push_back(std::move(t));
+  health_ = to;
+  health_cause_ = to == EngineHealth::kHealthy ? Status::OK() : cause;
+  if (to == EngineHealth::kHealthy) {
+    recover_attempts_ = 0;
+    recover_backoff_ms_ = 0;
+    next_recover_at_ = std::chrono::steady_clock::time_point{};
+  }
+}
+
+Status DaisyEngine::DegradeLocked(const Status& cause) {
+  // A kFailed engine never un-fails; don't let a later durability error
+  // mask the original torn-state cause.
+  if (health_ != EngineHealth::kFailed) {
+    TransitionLocked(EngineHealth::kDegradedReadOnly, cause);
+    // The first TryRecover() after degrading is always admitted.
+    recover_backoff_ms_ = 0;
+    next_recover_at_ = std::chrono::steady_clock::time_point{};
+  }
+  return Status::Degraded(
+      "engine is read-only after a durability failure (TryRecover() to "
+      "re-arm): " +
+      cause.ToString());
+}
+
+Status DaisyEngine::CheckWritableLocked() const {
+  switch (health_) {
+    case EngineHealth::kHealthy:
+      return Status::OK();
+    case EngineHealth::kDegradedReadOnly:
+      return Status::Degraded(
+          "engine is degraded to read-only (TryRecover() to re-arm): " +
+          health_cause_.ToString());
+    case EngineHealth::kFailed:
+      return Status::Internal("engine failed (unrecoverable): " +
+                              health_cause_.ToString());
+  }
+  return Status::Internal("unreachable");
+}
+
+EngineHealthInfo DaisyEngine::Health() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  EngineHealthInfo info;
+  info.state = health_;
+  info.cause = health_cause_;
+  info.transitions = health_log_;
+  info.recover_attempts = recover_attempts_;
+  if (health_ == EngineHealth::kDegradedReadOnly) {
+    const auto now = std::chrono::steady_clock::now();
+    if (next_recover_at_ > now) {
+      info.backoff_remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              next_recover_at_ - now)
+              .count();
+    }
+  }
+  return info;
 }
 
 Status DaisyEngine::Prepare() {
@@ -134,6 +214,17 @@ Result<QueryReport> DaisyEngine::Query(const std::string& sql) {
   return Query(stmt);
 }
 
+Result<QueryReport> DaisyEngine::Query(const std::string& sql,
+                                       const QueryLimits& limits) {
+  DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
+  return QueryWithLimits(stmt, limits);
+}
+
+Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt,
+                                       const QueryLimits& limits) {
+  return QueryWithLimits(stmt, limits);
+}
+
 Result<Plan> DaisyEngine::MakePlan(const SelectStmt& stmt) {
   if (!prepared_) {
     return Status::Internal("DaisyEngine::Prepare() must be called first");
@@ -163,10 +254,18 @@ Result<QueryReport> DaisyEngine::ExecutePlanLocked(Plan* plan, bool read_path,
   report.min_estimated_accuracy = cs.min_estimated_accuracy;
   report.epoch = epoch;
   report.read_path = read_path;
+  report.termination = plan->termination();
+  report.cut_node = plan->cut_node();
+  report.resource_checks = plan->resource_checks();
   return report;
 }
 
 Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
+  return QueryWithLimits(stmt, QueryLimits{});
+}
+
+Result<QueryReport> DaisyEngine::QueryWithLimits(const SelectStmt& stmt,
+                                                 const QueryLimits& limits) {
   {
     // Shared read path: when every cleanσ of the plan is quiescent,
     // execution is a pure read (Run() takes its pruned fast paths, which
@@ -176,9 +275,14 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
     // section. The statistics-pruning fast paths are what make quiescent
     // FD runs read-only, so with pruning disabled every query serializes.
     std::shared_lock<std::shared_mutex> lock(*mu_);
+    if (health_ == EngineHealth::kFailed) {
+      return Status::Internal("engine failed (unrecoverable): " +
+                              health_cause_.ToString());
+    }
     if (prepared_ && options_.use_statistics_pruning) {
       DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
       if (plan.CleaningQuiescent()) {
+        plan.set_limits(limits);
         return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
       }
     }
@@ -190,19 +294,32 @@ Result<QueryReport> DaisyEngine::Query(const SelectStmt& stmt) {
   // it mutates nothing and consumes no writer slot, keeping the epoch
   // order reproducible by a serial replay.
   std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (health_ == EngineHealth::kFailed) {
+    return Status::Internal("engine failed (unrecoverable): " +
+                            health_cause_.ToString());
+  }
   DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+  plan.set_limits(limits);
   if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
     return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
   }
-  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
   const uint64_t slot = ++epoch_;
   Result<QueryReport> report =
       ExecutePlanLocked(&plan, /*read_path=*/false, slot);
   RefreshDerivedState();
   // A writer query mutated cleaning state (repairs, coverage, cost
   // ledger): make it durable before acknowledging. Read-path queries are
-  // deliberately never logged — they have no state to replay.
-  if (report.ok() && wal_ != nullptr && !wal_replay_) {
+  // deliberately never logged — they have no state to replay. A cut query
+  // (timeout/cancel) is not logged either: its cleaning stopped at a rule
+  // boundary — a valid monotone prefix whose effects are volatile by
+  // contract and converge again on the next touching query; logging the
+  // statement would make the replay clean MORE than this execution did.
+  const bool cut =
+      report.ok() &&
+      (report.value().termination == QueryTermination::kTimeout ||
+       report.value().termination == QueryTermination::kCancelled);
+  if (report.ok() && !cut && wal_ != nullptr && !wal_replay_) {
     DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalQuery(stmt)));
   }
   return report;
@@ -217,12 +334,22 @@ Result<std::string> DaisyEngine::Explain(const std::string& sql) {
 }
 
 Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql) {
+  return ExplainAnalyze(sql, QueryLimits{});
+}
+
+Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
+                                                const QueryLimits& limits) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
   {
     std::shared_lock<std::shared_mutex> lock(*mu_);
+    if (health_ == EngineHealth::kFailed) {
+      return Status::Internal("engine failed (unrecoverable): " +
+                              health_cause_.ToString());
+    }
     if (prepared_ && options_.use_statistics_pruning) {
       DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
       if (plan.CleaningQuiescent()) {
+        plan.set_limits(limits);
         DAISY_RETURN_IF_ERROR(
             ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
         return plan.Explain();
@@ -230,21 +357,30 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql) {
     }
   }
   std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (health_ == EngineHealth::kFailed) {
+    return Status::Internal("engine failed (unrecoverable): " +
+                            health_cause_.ToString());
+  }
   DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+  plan.set_limits(limits);
   if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
     DAISY_RETURN_IF_ERROR(
         ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
     return plan.Explain();
   }
-  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
   const uint64_t slot = ++epoch_;
   Result<QueryReport> report =
       ExecutePlanLocked(&plan, /*read_path=*/false, slot);
   RefreshDerivedState();
   DAISY_RETURN_IF_ERROR(report.status());
   // Same cleaning side effects as a writer Query — replayed as one (the
-  // analyze rendering is a pure read on top).
-  if (wal_ != nullptr && !wal_replay_) {
+  // analyze rendering is a pure read on top). Cut executions stay
+  // volatile, exactly like Query().
+  const bool cut =
+      report.value().termination == QueryTermination::kTimeout ||
+      report.value().termination == QueryTermination::kCancelled;
+  if (!cut && wal_ != nullptr && !wal_replay_) {
     DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalQuery(stmt)));
   }
   return plan.Explain();
@@ -254,7 +390,7 @@ Result<TableDelta> DaisyEngine::AppendRows(
     const std::string& table, std::vector<std::vector<Value>> rows) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   // Encoded before the move empties `rows`; appended only after the batch
   // committed (a rejected batch must not replay).
@@ -263,7 +399,12 @@ Result<TableDelta> DaisyEngine::AppendRows(
     wal_payload = persist::EncodeWalAppendRows(table, rows);
   }
   DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->AppendRows(std::move(rows)));
-  DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
+  if (Status applied = ApplyDeltaToRules(table, delta); !applied.ok()) {
+    // The table took the batch but the rule state did not: memory no
+    // longer matches any replayable operation history — terminal.
+    TransitionLocked(EngineHealth::kFailed, applied);
+    return applied;
+  }
   delta.engine_epoch = ++epoch_;
   RefreshDerivedState();
   if (!wal_payload.empty()) DAISY_RETURN_IF_ERROR(LogWal(wal_payload));
@@ -274,14 +415,19 @@ Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
                                            std::vector<RowId> ids) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   std::string wal_payload;
   if (wal_ != nullptr && !wal_replay_) {
     wal_payload = persist::EncodeWalDeleteRows(table, ids);
   }
   DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->DeleteRows(std::move(ids)));
-  DAISY_RETURN_IF_ERROR(ApplyDeltaToRules(table, delta));
+  if (Status applied = ApplyDeltaToRules(table, delta); !applied.ok()) {
+    // Same torn-state rule as AppendRows: tombstones landed but the rule
+    // state did not absorb them.
+    TransitionLocked(EngineHealth::kFailed, applied);
+    return applied;
+  }
   delta.engine_epoch = ++epoch_;
   RefreshDerivedState();
   if (!wal_payload.empty()) DAISY_RETURN_IF_ERROR(LogWal(wal_payload));
@@ -334,7 +480,7 @@ Status DaisyEngine::ApplyDeltaToRules(const std::string& table_name,
 Status DaisyEngine::CleanAllRemaining() {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
   const CleaningOptions clean_opts = MakeCleaningOptions();
   for (auto& [name, state] : rules_) {
     if (state.op->fully_checked()) continue;
@@ -352,7 +498,7 @@ Status DaisyEngine::ImportProvenance(const std::string& table,
                                      const ProvenanceStore& store) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWalHealthy());
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
   DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   provenance_[table].MergeFrom(store, t);
   ++epoch_;

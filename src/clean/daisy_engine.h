@@ -18,6 +18,7 @@
 #ifndef DAISY_CLEAN_DAISY_ENGINE_H_
 #define DAISY_CLEAN_DAISY_ENGINE_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -36,6 +37,7 @@
 namespace daisy {
 
 namespace persist {
+class Env;
 class WalWriter;
 struct EngineSnapshot;
 }  // namespace persist
@@ -62,6 +64,11 @@ struct DaisyOptions {
   /// Morsel workers for a single query's Scan+Filter chains (1 = serial).
   /// Results are deterministic for any value.
   size_t query_threads = 1;
+  /// TryRecover() backoff: first retry is admitted `recover_backoff_ms`
+  /// after a failed attempt, doubling per failure up to the cap. The first
+  /// attempt after entering degraded mode is always admitted.
+  uint32_t recover_backoff_ms = 100;
+  uint32_t recover_backoff_max_ms = 10000;
 };
 
 /// CI ablation hooks: when the environment variables DAISY_COLUMNAR_FILTERS
@@ -71,6 +78,52 @@ struct DaisyOptions {
 /// leg in .github/workflows). A no-op when no variable is set. Applied by
 /// the DaisyEngine constructor.
 void ApplyEnvOverrides(DaisyOptions* options);
+
+/// Engine health state machine (see docs/architecture.md). Transitions are
+/// one-way except via TryRecover():
+///
+///   kHealthy ──(WAL append / checkpoint / rotation failure)──► kDegradedReadOnly
+///   kDegradedReadOnly ──(TryRecover() succeeds)──► kHealthy
+///   any ──(partial ingest application: table mutated but rule state
+///          update failed — memory no longer matches any replayable
+///          history)──► kFailed (terminal)
+///
+/// Degraded-read-only keeps serving quiescent-rule reads under the shared
+/// lock (the in-memory state is intact — only durability is gone); every
+/// writer operation returns kDegraded without mutating anything.
+enum class EngineHealth : uint8_t {
+  kHealthy = 0,
+  kDegradedReadOnly = 1,
+  kFailed = 2,
+};
+
+const char* EngineHealthToString(EngineHealth health);
+
+/// One logged health transition (also mirrored to stderr when it happens).
+struct HealthTransition {
+  EngineHealth from = EngineHealth::kHealthy;
+  EngineHealth to = EngineHealth::kHealthy;
+  std::string reason;
+};
+
+/// Snapshot of the health machine for introspection/monitoring.
+struct EngineHealthInfo {
+  EngineHealth state = EngineHealth::kHealthy;
+  /// Root cause of the current degraded/failed state (OK when healthy).
+  Status cause = Status::OK();
+  std::vector<HealthTransition> transitions;
+  /// TryRecover() attempts since the engine last degraded.
+  uint64_t recover_attempts = 0;
+  /// Milliseconds a TryRecover() call would wait before being admitted
+  /// (0 = admitted now). Only meaningful while degraded.
+  int64_t backoff_remaining_ms = 0;
+};
+
+/// Per-query resource limits (alias of the plan-layer struct): wall-clock
+/// timeout, output row limit, cooperative cancel flag, and the
+/// deterministic trip_after_checks test hook. Default-constructed =
+/// unlimited.
+using QueryLimits = ExecLimits;
 
 /// Per-query execution report: the corrected output plus the cleaning
 /// counters the benches plot.
@@ -97,6 +150,18 @@ struct QueryReport {
   /// True when the query was served concurrently under the shared reader
   /// lock (every overlapping rule quiescent; no cleaning-state mutation).
   bool read_path = false;
+  /// How execution ended. kComplete and kRowLimit queries ran all their
+  /// cleaning to completion (a row limit only truncates the output) and
+  /// are WAL-logged; a kTimeout/kCancelled query's cleaning stopped at a
+  /// rule boundary — a valid monotone prefix — and is NOT logged: its
+  /// side effects are volatile and converge again on the next touching
+  /// query (cleaning is idempotent and confluent).
+  QueryTermination termination = QueryTermination::kComplete;
+  /// Label of the plan node where execution was cut (empty if complete).
+  std::string cut_node;
+  /// Serial resource-boundary checks performed (the domain swept by
+  /// QueryLimits::trip_after_checks).
+  uint64_t resource_checks = 0;
 };
 
 /// Query-driven cleaning engine.
@@ -129,6 +194,15 @@ class DaisyEngine {
   Result<QueryReport> Query(const std::string& sql);
   Result<QueryReport> Query(const SelectStmt& stmt);
 
+  /// Resource-governed execution: same as Query() but the plan is cut
+  /// cooperatively when the deadline passes, the cancel flag is set, or
+  /// the output reaches the row limit. A cut query succeeds with
+  /// QueryReport::termination recording how and where it stopped; cleaning
+  /// performed before the cut stays as a valid monotone prefix (and is
+  /// kept volatile — not WAL-logged — for kTimeout/kCancelled).
+  Result<QueryReport> Query(const std::string& sql, const QueryLimits& limits);
+  Result<QueryReport> Query(const SelectStmt& stmt, const QueryLimits& limits);
+
   /// Deterministic text rendering of the cleaning-augmented plan for `sql`
   /// without executing it (cleanσ nodes per overlapping rule, clean⋈ over
   /// cleaned sides, statistics-pruned rules dropped).
@@ -138,6 +212,11 @@ class DaisyEngine {
   /// and returns the plan tree annotated with runtime counters — cleanσ
   /// nodes that settled ingested rows carry "delta rows checked: N".
   Result<std::string> ExplainAnalyze(const std::string& sql);
+
+  /// Governed ExplainAnalyze: the rendered tree marks the node where the
+  /// plan was cut with "cut=<reason>".
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const QueryLimits& limits);
 
   /// Transactional ingest: appends `rows` to `table` and folds the delta
   /// into every dependent rule's state in O(delta) — FD group statistics
@@ -178,8 +257,11 @@ class DaisyEngine {
   /// the write-ahead log. From here on every committed writer operation
   /// (ingest, writer queries, CleanAllRemaining, provenance imports) is
   /// fsync'd to the log before the call returns. Fails if the directory
-  /// already holds a daisy snapshot (use Open() for that).
-  Status EnablePersistence(const std::string& dir);
+  /// already holds a daisy snapshot (use Open() for that). All file
+  /// operations go through `env` (null = the real filesystem); tests pass
+  /// a persist::FaultInjectingEnv to exercise failure paths.
+  Status EnablePersistence(const std::string& dir,
+                           persist::Env* env = nullptr);
 
   /// Writes a fresh snapshot of the current state under the writer lock,
   /// rotates the WAL (the new log starts empty), and deletes the previous
@@ -199,13 +281,36 @@ class DaisyEngine {
   /// snapshot so the replay runs under the config that produced the log;
   /// only `options`' perf knobs (thread counts, columnar ablation) take
   /// effect.
+  /// Open also sweeps orphaned `*.tmp` files (leftovers of an atomic
+  /// write that crashed before its rename) from the directory. All file
+  /// operations of the opened engine go through `env` (null = the real
+  /// filesystem).
   static Result<std::unique_ptr<DaisyEngine>> Open(const std::string& dir,
                                                    Database* db,
-                                                   DaisyOptions options = {});
+                                                   DaisyOptions options = {},
+                                                   persist::Env* env = nullptr);
 
   /// Directory attached by EnablePersistence/Open; empty when the engine
   /// is memory-only.
   const std::string& persistence_dir() const { return persist_dir_; }
+
+  /// Attempts to re-arm persistence after the engine degraded to
+  /// read-only: sweeps partial files, writes a fresh snapshot of the
+  /// current in-memory state under a new generation, starts a fresh WAL,
+  /// and returns the engine to healthy. The in-memory state — including
+  /// the operation whose durability failure caused the degradation — is
+  /// what gets snapshotted, so a successful recovery makes it durable.
+  /// Attempts are rate-limited by capped exponential backoff
+  /// (DaisyOptions::recover_backoff_ms/..._max_ms): a call inside the
+  /// backoff window returns kResourceExhausted without touching the
+  /// filesystem. Returns kInvalidArgument when the engine is healthy
+  /// (nothing to recover) and kInternal when it is kFailed
+  /// (unrecoverable).
+  Status TryRecover();
+
+  /// Health-machine snapshot: state, root cause, transition log, recovery
+  /// attempt/backoff counters. Thread-safe (takes the shared lock).
+  EngineHealthInfo Health() const;
 
   // Introspection accessors. The lookup itself is locked, but the
   // returned reference/pointer is NOT protected afterwards: concurrent
@@ -235,6 +340,8 @@ class DaisyEngine {
   Status ApplyDeltaToRules(const std::string& table_name,
                            const TableDelta& delta);
   Result<Plan> MakePlan(const SelectStmt& stmt);
+  Result<QueryReport> QueryWithLimits(const SelectStmt& stmt,
+                                      const QueryLimits& limits);
   /// Executes `plan` and assembles the report (caller holds mu_ in the
   /// matching mode).
   Result<QueryReport> ExecutePlanLocked(Plan* plan, bool read_path,
@@ -251,14 +358,31 @@ class DaisyEngine {
   Status RestoreEngineState(const persist::EngineSnapshot& snap);
   /// Appends one encoded record to the WAL, if one is attached and this is
   /// not a replay. Called at the end of a successful writer section. A
-  /// failed append poisons the WAL (see CheckWalHealthy).
+  /// failed append degrades the engine to read-only (see DegradeLocked).
   Status LogWal(const std::string& payload);
-  /// Fail-stop guard, checked before any writer mutation while a WAL is
-  /// attached: after an append failure the in-memory state is one
-  /// acknowledged-as-failed operation ahead of the durable log, so no
-  /// further mutation may be accepted — the process should restart and
-  /// recover from disk.
-  Status CheckWalHealthy() const;
+  /// Gate checked before any writer mutation: returns kDegraded /
+  /// kInternal when the engine is not healthy. After a durability failure
+  /// the in-memory state is ahead of the durable log, so no further
+  /// mutation may be accepted until TryRecover() re-arms persistence on a
+  /// fresh generation.
+  Status CheckWritableLocked() const;
+  /// Records a health transition (appended to the log, mirrored to
+  /// stderr). `cause` becomes the machine's root cause for non-healthy
+  /// targets.
+  void TransitionLocked(EngineHealth to, const Status& cause);
+  /// kHealthy → kDegradedReadOnly on a durability failure; returns a
+  /// kDegraded status wrapping the root cause for the caller to surface.
+  Status DegradeLocked(const Status& cause);
+  /// Removes orphaned `*.tmp` files from the persistence directory
+  /// (leftovers of atomic writes that crashed before their rename).
+  /// Best-effort.
+  void SweepOrphanTmpFilesLocked();
+  /// Shared by Checkpoint and TryRecover: writes snapshot generation
+  /// `next` and starts its empty WAL. On success the engine serves from
+  /// the new generation; old-generation files are deleted best-effort
+  /// (an orphaned old generation is harmless — Open prefers the newest
+  /// parseable snapshot).
+  Status RotateGenerationLocked();
 
   Database* db_;
   ConstraintSet constraints_;
@@ -285,12 +409,23 @@ class DaisyEngine {
   std::string persist_dir_;
   uint64_t persist_seq_ = 0;  ///< current (snapshot, wal) generation
   std::unique_ptr<persist::WalWriter> wal_;
+  /// File-operation environment for all persistence I/O. Never null once
+  /// persistence is attached; points at persist::Env::Default() unless
+  /// the caller supplied one (fault injection).
+  persist::Env* env_ = nullptr;
   /// True while Open() replays the log: the replayed operations must not
   /// be appended to it again.
   bool wal_replay_ = false;
-  /// Set when a WAL append fails; every later writer operation is
-  /// rejected before mutating (fail-stop — see CheckWalHealthy).
-  bool wal_poisoned_ = false;
+
+  // Health machine (guarded by mu_ like the rest of the engine state).
+  EngineHealth health_ = EngineHealth::kHealthy;
+  Status health_cause_ = Status::OK();
+  std::vector<HealthTransition> health_log_;
+  uint64_t recover_attempts_ = 0;
+  /// Earliest steady-clock time a TryRecover() attempt is admitted; the
+  /// first attempt after degrading is always admitted.
+  std::chrono::steady_clock::time_point next_recover_at_{};
+  uint32_t recover_backoff_ms_ = 0;  ///< next window on failure (doubles)
 };
 
 }  // namespace daisy

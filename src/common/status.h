@@ -27,6 +27,15 @@ enum class StatusCode {
   kIOError,
   kInternal,
   kNotImplemented,
+  /// The engine is serving reads only: persistence failed on an earlier
+  /// operation and writer operations are rejected until TryRecover().
+  kDegraded,
+  /// A query ran past its deadline and was cut at a batch/rule boundary.
+  kTimeout,
+  /// A query was cooperatively cancelled at a batch/rule boundary.
+  kCancelled,
+  /// A resource budget (recovery backoff, admission) is exhausted.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "ParseError", ...).
@@ -72,6 +81,18 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Degraded(std::string msg) {
+    return Status(StatusCode::kDegraded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,11 +4,13 @@
 // functions because they capture and restore private engine state.
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <mutex>
 
 #include "clean/daisy_engine.h"
+#include "persist/env.h"
 #include "persist/format.h"
 #include "persist/io_util.h"
 #include "persist/snapshot.h"
@@ -30,6 +32,12 @@ std::string SnapshotPath(const std::string& dir, uint64_t seq) {
 
 std::string WalPath(const std::string& dir, uint64_t seq) {
   return dir + "/" + SeqName("wal-", seq, ".dwal");
+}
+
+bool IsTmpName(const std::string& name) {
+  const std::string suffix = ".tmp";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 /// Parses "snapshot-NNNNNN.dsnap" into NNNNNN; nullopt for other names.
@@ -59,18 +67,32 @@ DaisyEngine& DaisyEngine::operator=(DaisyEngine&&) noexcept = default;
 Status DaisyEngine::LogWal(const std::string& payload) {
   if (wal_ == nullptr || wal_replay_) return Status::OK();
   const Status appended = wal_->Append(payload);
-  if (!appended.ok()) wal_poisoned_ = true;
-  return appended;
+  // The operation already applied in memory; only its durability failed.
+  // Degrade instead of fail-stopping: reads keep serving the (intact)
+  // in-memory state, writers are rejected until TryRecover() re-arms
+  // persistence by snapshotting the current state — which makes this
+  // operation durable after all. Without a recovery, a restart loses it
+  // (it was never acknowledged as durable to the caller — LogWal's error
+  // propagates out of the operation).
+  if (!appended.ok()) return DegradeLocked(appended);
+  return Status::OK();
 }
 
-Status DaisyEngine::CheckWalHealthy() const {
-  if (wal_ != nullptr && wal_poisoned_) {
-    return Status::IOError(
-        "persistence failed on an earlier operation; the engine is "
-        "fail-stopped — restart and recover with DaisyEngine::Open(" +
-        persist_dir_ + ")");
+void DaisyEngine::SweepOrphanTmpFilesLocked() {
+  // `*.tmp` files are atomic-write staging files whose rename never
+  // happened (crash or injected fault mid-WriteFileAtomic). They are
+  // never part of any generation; removing them is always safe.
+  Result<std::vector<std::string>> names =
+      persist::ListDirectory(persist_dir_, env_);
+  if (!names.ok()) return;
+  bool removed = false;
+  for (const std::string& name : names.value()) {
+    if (!IsTmpName(name)) continue;
+    if (persist::RemoveFileIfExists(persist_dir_ + "/" + name, env_).ok()) {
+      removed = true;
+    }
   }
-  return Status::OK();
+  if (removed) (void)persist::SyncDirectory(persist_dir_, env_);
 }
 
 Status DaisyEngine::WriteSnapshotLocked(const std::string& path) {
@@ -100,19 +122,21 @@ Status DaisyEngine::WriteSnapshotLocked(const std::string& path) {
     }
     view.rules.push_back(std::move(rs));
   }
-  return persist::WriteSnapshot(path, view);
+  return persist::WriteSnapshot(path, view, env_);
 }
 
-Status DaisyEngine::EnablePersistence(const std::string& dir) {
+Status DaisyEngine::EnablePersistence(const std::string& dir,
+                                      persist::Env* env) {
   std::unique_lock<std::shared_mutex> lock(*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
   if (!persist_dir_.empty()) {
     return Status::AlreadyExists("persistence already enabled at " +
                                  persist_dir_);
   }
-  DAISY_RETURN_IF_ERROR(persist::EnsureDirectory(dir));
+  env_ = env != nullptr ? env : persist::Env::Default();
+  DAISY_RETURN_IF_ERROR(persist::EnsureDirectory(dir, env_));
   DAISY_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                         persist::ListDirectory(dir));
+                         persist::ListDirectory(dir, env_));
   for (const std::string& name : names) {
     uint64_t seq = 0;
     if (ParseSnapshotSeq(name, &seq)) {
@@ -123,10 +147,57 @@ Status DaisyEngine::EnablePersistence(const std::string& dir) {
   }
   const uint64_t seq = 1;
   DAISY_RETURN_IF_ERROR(WriteSnapshotLocked(SnapshotPath(dir, seq)));
-  DAISY_ASSIGN_OR_RETURN(wal_, persist::WalWriter::Create(WalPath(dir, seq)));
-  DAISY_RETURN_IF_ERROR(persist::SyncDirectory(dir));
+  DAISY_ASSIGN_OR_RETURN(
+      wal_, persist::WalWriter::Create(WalPath(dir, seq), env_));
+  DAISY_RETURN_IF_ERROR(persist::SyncDirectory(dir, env_));
   persist_dir_ = dir;
   persist_seq_ = seq;
+  return Status::OK();
+}
+
+Status DaisyEngine::RotateGenerationLocked() {
+  const uint64_t next = persist_seq_ + 1;
+  const std::string snap_path = SnapshotPath(persist_dir_, next);
+  const std::string next_wal_path = WalPath(persist_dir_, next);
+  // Order matters for crash safety: the new snapshot and its (empty) WAL
+  // become durable before anything of generation N disappears, so a crash
+  // at any point leaves at least one complete generation on disk. Open()
+  // prefers the newest parseable snapshot.
+  Status rotated = WriteSnapshotLocked(snap_path);
+  std::unique_ptr<persist::WalWriter> next_wal;
+  if (rotated.ok()) {
+    Result<std::unique_ptr<persist::WalWriter>> created =
+        persist::WalWriter::Create(next_wal_path, env_);
+    if (created.ok()) {
+      next_wal = std::move(created).value();
+      rotated = persist::SyncDirectory(persist_dir_, env_);
+    } else {
+      rotated = created.status();
+    }
+  }
+  if (!rotated.ok()) {
+    // Best-effort: remove the partial next generation so the engine keeps
+    // serving generation N cleanly. Leftovers are harmless — a complete
+    // orphan snapshot N+1 already contains every wal-N effect (it was
+    // written from the state that includes them), and a torn one is
+    // impossible (WriteFileAtomic renames) — only `.tmp` staging files
+    // can linger, and the orphan sweep collects those.
+    (void)persist::RemoveFileIfExists(next_wal_path, env_);
+    (void)persist::RemoveFileIfExists(snap_path, env_);
+    (void)persist::SyncDirectory(persist_dir_, env_);
+    return rotated;
+  }
+  // Commit point: generation `next` is fully durable. Serve from it
+  // before touching the old generation — deleting generation N is
+  // best-effort cleanup (an orphaned old generation is harmless; Open
+  // prefers the newest parseable snapshot).
+  wal_ = std::move(next_wal);
+  const uint64_t old = persist_seq_;
+  persist_seq_ = next;
+  (void)persist::RemoveFileIfExists(WalPath(persist_dir_, old), env_);
+  (void)persist::RemoveFileIfExists(SnapshotPath(persist_dir_, old), env_);
+  (void)persist::SyncDirectory(persist_dir_, env_);
+  SweepOrphanTmpFilesLocked();
   return Status::OK();
 }
 
@@ -135,40 +206,48 @@ Status DaisyEngine::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::Internal("Checkpoint() requires EnablePersistence/Open");
   }
-  const uint64_t next = persist_seq_ + 1;
-  // Order matters for crash safety: the new snapshot and its (empty) WAL
-  // become durable before anything of generation N disappears, so a crash
-  // at any point leaves at least one complete generation on disk. Open()
-  // prefers the newest parseable snapshot.
-  DAISY_RETURN_IF_ERROR(WriteSnapshotLocked(SnapshotPath(persist_dir_, next)));
-  // If the rotation cannot complete, remove the new snapshot again: the
-  // engine keeps logging to generation N, and an orphan snapshot N+1
-  // would win the next Open and silently hide wal-N's records.
-  Status rotated = Status::OK();
-  std::unique_ptr<persist::WalWriter> next_wal;
-  {
-    Result<std::unique_ptr<persist::WalWriter>> created =
-        persist::WalWriter::Create(WalPath(persist_dir_, next));
-    if (created.ok()) {
-      next_wal = std::move(created).value();
-      rotated = persist::SyncDirectory(persist_dir_);
-    } else {
-      rotated = created.status();
-    }
+  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+  Status rotated = RotateGenerationLocked();
+  // A checkpoint that cannot complete leaves generation N serving, but
+  // the I/O layer just proved itself unreliable: degrade and let
+  // TryRecover() probe it back to health.
+  if (!rotated.ok()) return DegradeLocked(rotated);
+  return Status::OK();
+}
+
+Status DaisyEngine::TryRecover() {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (health_ == EngineHealth::kHealthy) {
+    return Status::InvalidArgument("engine is healthy — nothing to recover");
   }
+  if (health_ == EngineHealth::kFailed) {
+    return Status::Internal("engine failed (unrecoverable): " +
+                            health_cause_.ToString());
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_recover_at_) {
+    const auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             next_recover_at_ - now)
+                             .count();
+    return Status::ResourceExhausted(
+        "recovery attempt inside backoff window; retry in " +
+        std::to_string(wait_ms) + " ms");
+  }
+  ++recover_attempts_;
+  SweepOrphanTmpFilesLocked();
+  // Re-arm on a fresh generation: snapshotting the current in-memory
+  // state also makes the operation whose durability failure degraded us
+  // durable after all.
+  Status rotated = RotateGenerationLocked();
   if (!rotated.ok()) {
-    (void)persist::RemoveFileIfExists(WalPath(persist_dir_, next));
-    (void)persist::RemoveFileIfExists(SnapshotPath(persist_dir_, next));
-    (void)persist::SyncDirectory(persist_dir_);
+    recover_backoff_ms_ =
+        recover_backoff_ms_ == 0
+            ? options_.recover_backoff_ms
+            : std::min(recover_backoff_ms_ * 2, options_.recover_backoff_max_ms);
+    next_recover_at_ = now + std::chrono::milliseconds(recover_backoff_ms_);
     return rotated;
   }
-  wal_ = std::move(next_wal);
-  DAISY_RETURN_IF_ERROR(
-      persist::RemoveFileIfExists(WalPath(persist_dir_, persist_seq_)));
-  DAISY_RETURN_IF_ERROR(
-      persist::RemoveFileIfExists(SnapshotPath(persist_dir_, persist_seq_)));
-  DAISY_RETURN_IF_ERROR(persist::SyncDirectory(persist_dir_));
-  persist_seq_ = next;
+  TransitionLocked(EngineHealth::kHealthy, Status::OK());
   return Status::OK();
 }
 
@@ -211,13 +290,23 @@ Status DaisyEngine::RestoreEngineState(const persist::EngineSnapshot& snap) {
 
 Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
                                                        Database* db,
-                                                       DaisyOptions options) {
+                                                       DaisyOptions options,
+                                                       persist::Env* env) {
   if (!db->TableNames().empty()) {
     return Status::InvalidArgument(
         "DaisyEngine::Open requires an empty Database");
   }
+  persist::Env* e = env != nullptr ? env : persist::Env::Default();
   DAISY_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                         persist::ListDirectory(dir));
+                         persist::ListDirectory(dir, e));
+  // Sweep atomic-write staging files orphaned by a crash before their
+  // rename; they are never part of any generation.
+  bool swept = false;
+  for (const std::string& name : names) {
+    if (!IsTmpName(name)) continue;
+    if (persist::RemoveFileIfExists(dir + "/" + name, e).ok()) swept = true;
+  }
+  if (swept) (void)persist::SyncDirectory(dir, e);
   std::vector<uint64_t> seqs;
   for (const std::string& name : names) {
     uint64_t seq = 0;
@@ -237,7 +326,7 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
   bool loaded = false;
   for (size_t i = seqs.size(); i-- > 0 && !loaded;) {
     Result<persist::EngineSnapshot> parsed =
-        persist::ReadSnapshot(SnapshotPath(dir, seqs[i]));
+        persist::ReadSnapshot(SnapshotPath(dir, seqs[i]), e);
     if (parsed.ok()) {
       snap = std::move(parsed).value();
       seq = seqs[i];
@@ -274,6 +363,7 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
   options.theta_pruning = snap.options.theta_pruning;
   auto engine =
       std::make_unique<DaisyEngine>(db, std::move(constraints), options);
+  engine->env_ = e;
   DAISY_RETURN_IF_ERROR(engine->Prepare());
   DAISY_RETURN_IF_ERROR(engine->RestoreEngineState(snap));
 
@@ -281,7 +371,7 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
   // crash between a Checkpoint's snapshot rename and its WAL creation —
   // equivalent to an empty log.
   const std::string wal_path = WalPath(dir, seq);
-  Result<persist::WalContents> wal = persist::ReadWal(wal_path);
+  Result<persist::WalContents> wal = persist::ReadWal(wal_path, e);
   uint64_t valid_bytes = 0;
   bool have_wal_file = wal.ok();
   if (!have_wal_file && wal.status().code() != StatusCode::kNotFound) {
@@ -335,10 +425,11 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
 
   if (have_wal_file) {
     DAISY_ASSIGN_OR_RETURN(engine->wal_, persist::WalWriter::OpenForAppend(
-                                             wal_path, valid_bytes));
+                                             wal_path, valid_bytes, e));
   } else {
-    DAISY_ASSIGN_OR_RETURN(engine->wal_, persist::WalWriter::Create(wal_path));
-    DAISY_RETURN_IF_ERROR(persist::SyncDirectory(dir));
+    DAISY_ASSIGN_OR_RETURN(engine->wal_,
+                           persist::WalWriter::Create(wal_path, e));
+    DAISY_RETURN_IF_ERROR(persist::SyncDirectory(dir, e));
   }
   engine->persist_dir_ = dir;
   engine->persist_seq_ = seq;

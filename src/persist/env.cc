@@ -1,0 +1,160 @@
+#include "persist/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace daisy {
+namespace persist {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, size_t size) override {
+    size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::write(fd_, data + off, size - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("write", path_));
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Status::IOError(Errno("fsync", path_));
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Status::IOError(Errno("close", path_));
+    return Status::OK();
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    const int flags =
+        truncate ? (O_WRONLY | O_CREAT | O_TRUNC) : (O_WRONLY | O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Status::IOError(Errno("open", path));
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IOError(Errno("open", path));
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status st = Status::IOError(Errno("read", path));
+        ::close(fd);
+        return st;
+      }
+      if (n == 0) break;
+      bytes.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(Errno("rename", from + " -> " + to));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) return Status::IOError(Errno("open", path));
+    Status st;
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      st = Status::IOError(Errno("ftruncate", path));
+    } else if (::fsync(fd) != 0) {
+      st = Status::IOError(Errno("fsync", path));
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+    return Status::IOError(Errno("unlink", path));
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return Status::IOError(Errno("mkdir", dir));
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Status::IOError(Errno("opendir", dir));
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Status::IOError(Errno("open dir", dir));
+    Status st;
+    if (::fsync(fd) != 0) st = Status::IOError(Errno("fsync dir", dir));
+    ::close(fd);
+    return st;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace persist
+}  // namespace daisy

@@ -1,0 +1,88 @@
+// The injectable I/O environment behind every persistence file operation.
+//
+// io_util, WalWriter and the snapshot reader/writer perform all their file
+// system work through an Env, so a test can substitute a
+// FaultInjectingEnv (persist/fault_env.h) and script exactly which write,
+// fsync or rename fails — every persistence failure path becomes a
+// deterministic, replayable test instead of a hope that the disk
+// misbehaves on cue. Env::Default() is the POSIX passthrough the engine
+// uses in production.
+//
+// Error contract: every failing operation returns an IOError whose message
+// carries the operation, the path, and the errno root cause
+// ("write /dir/wal-000001.dwal: No space left on device"), so a Status
+// that bubbles out of the engine names the exact file that broke.
+
+#ifndef DAISY_PERSIST_ENV_H_
+#define DAISY_PERSIST_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace daisy {
+namespace persist {
+
+/// A sequential write handle. Append/Sync map to write(2)/fsync(2); the
+/// destructor closes the descriptor (without syncing — call Sync first for
+/// durability).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const char* data, size_t size) = 0;
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+
+  virtual const std::string& path() const = 0;
+};
+
+/// The file-system surface the persistence layer needs. Implementations
+/// must be safe to share across engines; the engine serializes its own
+/// calls behind the writer lock.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing: truncate=true creates/empties it,
+  /// truncate=false appends to an existing file.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the entire file into a string. NotFound for a missing file.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes and fsyncs it.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Deletes a file; a missing file is not an error.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates `dir` if missing (one level; parents must exist).
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  /// Names (not paths) of the directory's entries, sorted ascending.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Fsyncs the directory entry list (after create/rename/unlink).
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The shared POSIX passthrough environment (never null, never deleted).
+  static Env* Default();
+};
+
+}  // namespace persist
+}  // namespace daisy
+
+#endif  // DAISY_PERSIST_ENV_H_

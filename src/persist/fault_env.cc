@@ -1,0 +1,165 @@
+#include "persist/fault_env.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace daisy {
+namespace persist {
+
+namespace {
+
+Status InjectedError(const char* op, const std::string& path, int err) {
+  return Status::IOError(std::string("fault injection: ") + op + " " + path +
+                         ": " + std::strerror(err));
+}
+
+}  // namespace
+
+/// Gates every file operation through the owning env's schedule. Holds the
+/// base file so a wrapped file closes (and flushes nothing extra) exactly
+/// like the real one.
+class FaultedFile : public WritableFile {
+ public:
+  FaultedFile(FaultInjectingEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(const char* data, size_t size) override {
+    DAISY_RETURN_IF_ERROR(env_->Gate("write", path(), /*is_sync=*/false));
+    if (env_->write_budget_ != FaultInjectingEnv::kNever) {
+      const uint64_t remaining =
+          env_->write_budget_ > env_->bytes_written_
+              ? env_->write_budget_ - env_->bytes_written_
+              : 0;
+      if (size > remaining) {
+        // Short write: the prefix that fits lands on disk, then ENOSPC —
+        // the torn-frame shape a filling disk actually produces.
+        if (remaining > 0) {
+          DAISY_RETURN_IF_ERROR(
+              base_->Append(data, static_cast<size_t>(remaining)));
+        }
+        env_->bytes_written_ += remaining;
+        ++env_->faults_fired_;
+        return InjectedError("write", path(), ENOSPC);
+      }
+    }
+    DAISY_RETURN_IF_ERROR(base_->Append(data, size));
+    env_->bytes_written_ += size;
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    DAISY_RETURN_IF_ERROR(env_->Gate("fsync", path(), /*is_sync=*/true));
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    DAISY_RETURN_IF_ERROR(env_->Gate("close", path(), /*is_sync=*/false));
+    return base_->Close();
+  }
+
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectingEnv::FailCallAt(uint64_t index, int err) {
+  fail_at_ = index;
+  fail_err_ = err;
+}
+
+void FaultInjectingEnv::FailNthSync(uint64_t n, int err) {
+  fail_sync_n_ = n;
+  fail_sync_err_ = err;
+}
+
+void FaultInjectingEnv::SetWriteBudget(uint64_t bytes) {
+  write_budget_ = bytes;
+}
+
+void FaultInjectingEnv::CrashAtCall(uint64_t index) { crash_at_ = index; }
+
+void FaultInjectingEnv::ClearFaults() {
+  fail_at_ = kNever;
+  fail_err_ = 0;
+  fail_sync_n_ = kNever;
+  fail_sync_err_ = 0;
+  write_budget_ = kNever;
+  crash_at_ = kNever;
+  crashed_ = false;
+}
+
+Status FaultInjectingEnv::Gate(const char* op, const std::string& path,
+                               bool is_sync) {
+  const uint64_t index = calls_++;
+  if (is_sync) ++syncs_;
+  if (index >= crash_at_) {
+    crashed_ = true;
+    ++faults_fired_;
+    return Status::IOError(std::string("fault injection: simulated crash at ") +
+                           op + " " + path);
+  }
+  if (index == fail_at_) {
+    ++faults_fired_;
+    return InjectedError(op, path, fail_err_);
+  }
+  if (is_sync && syncs_ == fail_sync_n_) {
+    ++faults_fired_;
+    return InjectedError(op, path, fail_sync_err_);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  DAISY_RETURN_IF_ERROR(Gate("open", path, /*is_sync=*/false));
+  DAISY_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      new FaultedFile(this, std::move(base)));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  DAISY_RETURN_IF_ERROR(Gate("read", path, /*is_sync=*/false));
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  DAISY_RETURN_IF_ERROR(Gate("rename", from, /*is_sync=*/false));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  DAISY_RETURN_IF_ERROR(Gate("ftruncate", path, /*is_sync=*/false));
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  DAISY_RETURN_IF_ERROR(Gate("unlink", path, /*is_sync=*/false));
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& dir) {
+  DAISY_RETURN_IF_ERROR(Gate("mkdir", dir, /*is_sync=*/false));
+  return base_->CreateDir(dir);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& dir) {
+  DAISY_RETURN_IF_ERROR(Gate("readdir", dir, /*is_sync=*/false));
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  DAISY_RETURN_IF_ERROR(Gate("fsync dir", dir, /*is_sync=*/true));
+  return base_->SyncDir(dir);
+}
+
+}  // namespace persist
+}  // namespace daisy

@@ -1,0 +1,111 @@
+// A deterministic fault-injecting Env wrapper (the test half of the
+// injectable I/O layer, see persist/env.h).
+//
+// Every Env and WritableFile operation passes through one global call
+// counter, so a fault schedule is expressed in call indices and replays
+// identically run after run:
+//
+//   FaultInjectingEnv env;
+//   env.FailCallAt(17, EIO);      // the 18th I/O call fails with EIO
+//   env.FailNthSync(2, EIO);      // the 2nd fsync (file or dir) fails
+//   env.SetWriteBudget(4096);     // ENOSPC past 4 KiB, short write at the
+//                                 // boundary (produces torn frames)
+//   env.CrashAtCall(17);          // all I/O from index 17 on performs
+//                                 // nothing — simulated process death
+//
+// The fault-schedule sweep test runs a workload once to learn the call
+// count, then re-runs it once per index with a fault armed there,
+// asserting the engine either completes each op fully or degrades to
+// read-only with a bit-identical-recoverable on-disk state.
+//
+// Not thread-safe: the engine serializes all persistence I/O behind its
+// writer lock, which is the only place an Env is used.
+
+#ifndef DAISY_PERSIST_FAULT_ENV_H_
+#define DAISY_PERSIST_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/env.h"
+
+namespace daisy {
+namespace persist {
+
+class FaultInjectingEnv : public Env {
+ public:
+  /// Wraps `base` (Env::Default() when null). `base` must outlive this.
+  explicit FaultInjectingEnv(Env* base = nullptr);
+
+  // --- Fault schedule (each clause arms independently; Clear resets). ---
+
+  /// The call with global index `index` (0-based) fails with `err` without
+  /// performing the operation.
+  void FailCallAt(uint64_t index, int err);
+
+  /// The `n`-th fsync (1-based; WritableFile::Sync and SyncDir both count)
+  /// fails with `err` without syncing.
+  void FailNthSync(uint64_t n, int err);
+
+  /// Appends past `bytes` total fail with ENOSPC; an append crossing the
+  /// boundary writes the part that fits (a short write) and then fails —
+  /// exactly how a filling disk tears a WAL frame.
+  void SetWriteBudget(uint64_t bytes);
+
+  /// Every call with index >= `index` fails without performing the
+  /// operation: the moment the process "died". Reads fail too — restart
+  /// the workload against a fresh Env to model recovery.
+  void CrashAtCall(uint64_t index);
+
+  /// Disarms every fault. Counters keep running.
+  void ClearFaults();
+
+  // --- Introspection. ---
+
+  uint64_t calls() const { return calls_; }
+  uint64_t syncs() const { return syncs_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t faults_fired() const { return faults_fired_; }
+  bool crashed() const { return crashed_; }
+
+  // --- Env interface (gated passthrough). ---
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultedFile;
+  static constexpr uint64_t kNever = ~0ULL;
+
+  /// Advances the call counter and returns the injected error for this
+  /// call, or OK to pass through. `is_sync` calls also consult the
+  /// fsync-count clause.
+  Status Gate(const char* op, const std::string& path, bool is_sync);
+
+  Env* base_;
+  uint64_t calls_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t faults_fired_ = 0;
+  uint64_t fail_at_ = kNever;
+  int fail_err_ = 0;
+  uint64_t fail_sync_n_ = kNever;
+  int fail_sync_err_ = 0;
+  uint64_t write_budget_ = kNever;
+  uint64_t crash_at_ = kNever;
+  bool crashed_ = false;
+};
+
+}  // namespace persist
+}  // namespace daisy
+
+#endif  // DAISY_PERSIST_FAULT_ENV_H_

@@ -1,22 +1,11 @@
 #include "persist/io_util.h"
 
-#include <dirent.h>
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
-#include <cstring>
-
 namespace daisy {
 namespace persist {
 
 namespace {
 
-std::string Errno(const std::string& what, const std::string& path) {
-  return what + " " + path + ": " + std::strerror(errno);
-}
+Env* OrDefault(Env* env) { return env != nullptr ? env : Env::Default(); }
 
 std::string ParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
@@ -25,107 +14,58 @@ std::string ParentDir(const std::string& path) {
   return path.substr(0, slash);
 }
 
-Status WriteAllAndSync(int fd, const std::string& bytes,
-                       const std::string& path) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(Errno("write", path));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) return Status::IOError(Errno("fsync", path));
-  return Status::OK();
-}
-
 }  // namespace
 
-Result<std::string> ReadFileFully(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Status::IOError(Errno("open", path));
-  }
-  std::string bytes;
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const Status st = Status::IOError(Errno("read", path));
-      ::close(fd);
-      return st;
-    }
-    if (n == 0) break;
-    bytes.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return bytes;
+Result<std::string> ReadFileFully(const std::string& path, Env* env) {
+  return OrDefault(env)->ReadFile(path);
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       Env* env) {
+  env = OrDefault(env);
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IOError(Errno("open", tmp));
-  Status st = WriteAllAndSync(fd, bytes, tmp);
-  if (::close(fd) != 0 && st.ok()) st = Status::IOError(Errno("close", tmp));
+  Status st;
+  {
+    Result<std::unique_ptr<WritableFile>> opened =
+        env->NewWritableFile(tmp, /*truncate=*/true);
+    if (!opened.ok()) return opened.status();
+    WritableFile* f = opened.value().get();
+    st = f->Append(bytes);
+    if (st.ok()) st = f->Sync();
+    const Status closed = f->Close();
+    if (st.ok()) st = closed;
+  }
   if (!st.ok()) {
-    ::unlink(tmp.c_str());
+    (void)env->RemoveFile(tmp);
     return st;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const Status rs = Status::IOError(Errno("rename", tmp + " -> " + path));
-    ::unlink(tmp.c_str());
-    return rs;
+  st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    (void)env->RemoveFile(tmp);
+    return st;
   }
-  return SyncDirectory(ParentDir(path));
+  return env->SyncDir(ParentDir(path));
 }
 
-Status EnsureDirectory(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
-  return Status::IOError(Errno("mkdir", dir));
+Status EnsureDirectory(const std::string& dir, Env* env) {
+  return OrDefault(env)->CreateDir(dir);
 }
 
-Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return Status::IOError(Errno("opendir", dir));
-  std::vector<std::string> names;
-  while (struct dirent* e = ::readdir(d)) {
-    const std::string name = e->d_name;
-    if (name != "." && name != "..") names.push_back(name);
-  }
-  ::closedir(d);
-  std::sort(names.begin(), names.end());
-  return names;
+Result<std::vector<std::string>> ListDirectory(const std::string& dir,
+                                               Env* env) {
+  return OrDefault(env)->ListDir(dir);
 }
 
-Status RemoveFileIfExists(const std::string& path) {
-  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
-  return Status::IOError(Errno("unlink", path));
+Status RemoveFileIfExists(const std::string& path, Env* env) {
+  return OrDefault(env)->RemoveFile(path);
 }
 
-Status TruncateFile(const std::string& path, uint64_t size) {
-  const int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) return Status::IOError(Errno("open", path));
-  Status st;
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
-    st = Status::IOError(Errno("ftruncate", path));
-  } else if (::fsync(fd) != 0) {
-    st = Status::IOError(Errno("fsync", path));
-  }
-  ::close(fd);
-  return st;
+Status TruncateFile(const std::string& path, uint64_t size, Env* env) {
+  return OrDefault(env)->TruncateFile(path, size);
 }
 
-Status SyncDirectory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Status::IOError(Errno("open dir", dir));
-  Status st;
-  if (::fsync(fd) != 0) st = Status::IOError(Errno("fsync dir", dir));
-  ::close(fd);
-  return st;
+Status SyncDirectory(const std::string& dir, Env* env) {
+  return OrDefault(env)->SyncDir(dir);
 }
 
 }  // namespace persist

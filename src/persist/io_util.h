@@ -1,6 +1,10 @@
-// Small POSIX file helpers shared by the snapshot and WAL code paths:
+// Small file helpers shared by the snapshot and WAL code paths:
 // whole-file reads, atomic (tmp + rename + directory fsync) writes, and
 // directory listing/creation. All fallible operations return Status.
+//
+// Every helper runs its file operations through an injectable Env
+// (persist/env.h); the default is the POSIX passthrough, tests pass a
+// FaultInjectingEnv to script failures deterministically.
 
 #ifndef DAISY_PERSIST_IO_UTIL_H_
 #define DAISY_PERSIST_IO_UTIL_H_
@@ -9,32 +13,39 @@
 #include <vector>
 
 #include "common/status.h"
+#include "persist/env.h"
 
 namespace daisy {
 namespace persist {
 
 /// Reads the entire file into a string.
-Result<std::string> ReadFileFully(const std::string& path);
+Result<std::string> ReadFileFully(const std::string& path,
+                                  Env* env = nullptr);
 
 /// Durably replaces `path` with `bytes`: writes `path + ".tmp"`, fsyncs
 /// it, renames it over `path`, and fsyncs the parent directory so the
-/// rename itself survives a crash.
-Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+/// rename itself survives a crash. On failure the tmp file is removed
+/// best-effort; a crash can still strand it — DaisyEngine::Open and
+/// Checkpoint sweep orphan "*.tmp" files from the persistence dir.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       Env* env = nullptr);
 
 /// Creates `dir` if missing (one level; parents must exist).
-Status EnsureDirectory(const std::string& dir);
+Status EnsureDirectory(const std::string& dir, Env* env = nullptr);
 
 /// Names (not paths) of the directory's entries, sorted ascending.
-Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+Result<std::vector<std::string>> ListDirectory(const std::string& dir,
+                                               Env* env = nullptr);
 
 /// Deletes a file; missing files are not an error.
-Status RemoveFileIfExists(const std::string& path);
+Status RemoveFileIfExists(const std::string& path, Env* env = nullptr);
 
 /// Truncates `path` to `size` bytes and fsyncs it (torn-tail cleanup).
-Status TruncateFile(const std::string& path, uint64_t size);
+Status TruncateFile(const std::string& path, uint64_t size,
+                    Env* env = nullptr);
 
 /// Fsyncs the directory entry list (used after create/rename/unlink).
-Status SyncDirectory(const std::string& dir);
+Status SyncDirectory(const std::string& dir, Env* env = nullptr);
 
 }  // namespace persist
 }  // namespace daisy

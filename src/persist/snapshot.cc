@@ -478,7 +478,7 @@ DecodeProvenanceRecords(BinaryReader* r) {
 }
 
 Status WriteSnapshot(const std::string& path,
-                     const EngineSnapshotView& view) {
+                     const EngineSnapshotView& view, Env* env) {
   std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   {
     BinaryWriter w;
@@ -531,11 +531,11 @@ Status WriteSnapshot(const std::string& path,
     AppendSection(kSectionProvenance, w.buffer(), &bytes);
   }
   AppendSection(kSectionEnd, std::string(), &bytes);
-  return WriteFileAtomic(path, bytes);
+  return WriteFileAtomic(path, bytes, env);
 }
 
-Result<EngineSnapshot> ReadSnapshot(const std::string& path) {
-  DAISY_ASSIGN_OR_RETURN(std::string bytes, ReadFileFully(path));
+Result<EngineSnapshot> ReadSnapshot(const std::string& path, Env* env) {
+  DAISY_ASSIGN_OR_RETURN(std::string bytes, ReadFileFully(path, env));
   if (bytes.size() < sizeof(kSnapshotMagic) + 4 ||
       std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return Status::ParseError("not a daisy snapshot: " + path);

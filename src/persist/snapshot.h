@@ -30,6 +30,7 @@
 #include "common/binary_io.h"
 #include "common/status.h"
 #include "constraints/constraint_set.h"
+#include "persist/env.h"
 #include "detect/theta_join.h"
 #include "repair/provenance.h"
 #include "storage/table.h"
@@ -89,11 +90,13 @@ struct EngineSnapshotView {
 /// `path.tmp`, fsync'd, renamed over `path`, and the directory entry is
 /// fsync'd — a crash mid-write never leaves a half snapshot under the
 /// final name.
-Status WriteSnapshot(const std::string& path, const EngineSnapshotView& view);
+Status WriteSnapshot(const std::string& path, const EngineSnapshotView& view,
+                     Env* env = nullptr);
 
 /// Parses and validates a snapshot file (magic, version, per-section CRCs,
 /// internal consistency of every decoded structure).
-Result<EngineSnapshot> ReadSnapshot(const std::string& path);
+Result<EngineSnapshot> ReadSnapshot(const std::string& path,
+                                    Env* env = nullptr);
 
 // Record-payload helpers shared with the WAL encoding.
 void EncodeProvenanceRecords(

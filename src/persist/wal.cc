@@ -239,41 +239,28 @@ Result<WalRecord> DecodeWalRecord(const std::string& payload) {
   return record;
 }
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
-  }
-  std::unique_ptr<WalWriter> writer(new WalWriter(path, fd));
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     Env* env) {
+  if (env == nullptr) env = Env::Default();
+  DAISY_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(path, /*truncate=*/true));
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, std::move(file)));
   const std::string magic(kWalMagic, sizeof(kWalMagic));
-  size_t off = 0;
-  while (off < magic.size()) {
-    const ssize_t n = ::write(fd, magic.data() + off, magic.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("write " + path + ": " + std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    return Status::IOError("fsync " + path + ": " + std::strerror(errno));
-  }
+  DAISY_RETURN_IF_ERROR(writer->file_->Append(magic));
+  DAISY_RETURN_IF_ERROR(writer->file_->Sync());
   return writer;
 }
 
 Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
-    const std::string& path, uint64_t valid_bytes) {
-  DAISY_RETURN_IF_ERROR(TruncateFile(path, valid_bytes));
-  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
-  if (fd < 0) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
-  }
-  return std::unique_ptr<WalWriter>(new WalWriter(path, fd));
+    const std::string& path, uint64_t valid_bytes, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  DAISY_RETURN_IF_ERROR(TruncateFile(path, valid_bytes, env));
+  DAISY_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(path, /*truncate=*/false));
+  return std::unique_ptr<WalWriter>(new WalWriter(path, std::move(file)));
 }
 
-WalWriter::~WalWriter() {
-  if (fd_ >= 0) ::close(fd_);
-}
+WalWriter::~WalWriter() = default;
 
 Status WalWriter::Append(const std::string& payload) {
   if (payload.size() > UINT32_MAX) {
@@ -285,23 +272,12 @@ Status WalWriter::Append(const std::string& payload) {
   frame.WriteU32(Crc32(payload.data(), payload.size()));
   std::string bytes = frame.TakeBuffer();
   bytes.append(payload);
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("write " + path_ + ": " + std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
-  }
-  return Status::OK();
+  DAISY_RETURN_IF_ERROR(file_->Append(bytes));
+  return file_->Sync();
 }
 
-Result<WalContents> ReadWal(const std::string& path) {
-  DAISY_ASSIGN_OR_RETURN(std::string bytes, ReadFileFully(path));
+Result<WalContents> ReadWal(const std::string& path, Env* env) {
+  DAISY_ASSIGN_OR_RETURN(std::string bytes, ReadFileFully(path, env));
   if (bytes.size() < sizeof(kWalMagic)) {
     // Crash inside Create, before the magic was durable: an empty log
     // whose header must be rewritten.

@@ -27,6 +27,7 @@
 
 #include "common/binary_io.h"
 #include "common/status.h"
+#include "persist/env.h"
 #include "query/ast.h"
 #include "repair/provenance.h"
 #include "storage/table.h"
@@ -61,18 +62,20 @@ std::string EncodeWalImportProvenance(
 
 Result<WalRecord> DecodeWalRecord(const std::string& payload);
 
-/// Append-side handle over one WAL file. Every Append is a single write()
+/// Append-side handle over one WAL file. Every Append is a single write
 /// of the framed record followed by fsync — when it returns OK the record
-/// survives a crash in full.
+/// survives a crash in full. All file operations go through the given Env
+/// (persist/env.h; null = Env::Default()).
 class WalWriter {
  public:
   /// Creates (or truncates) the file and writes + fsyncs the magic header.
-  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path);
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   Env* env = nullptr);
 
   /// Opens an existing WAL whose valid prefix is `valid_bytes` long
   /// (from ReadWal), truncating any torn tail first.
   static Result<std::unique_ptr<WalWriter>> OpenForAppend(
-      const std::string& path, uint64_t valid_bytes);
+      const std::string& path, uint64_t valid_bytes, Env* env = nullptr);
 
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
@@ -83,10 +86,11 @@ class WalWriter {
   const std::string& path() const { return path_; }
 
  private:
-  WalWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  WalWriter(std::string path, std::unique_ptr<WritableFile> file)
+      : path_(std::move(path)), file_(std::move(file)) {}
 
   std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<WritableFile> file_;
 };
 
 /// The decoded contents of one WAL file.
@@ -109,7 +113,7 @@ struct WalContents {
 /// mangled record region is reported as a (possibly empty) valid prefix
 /// with torn_tail set, and a header torn by a crash mid-create comes back
 /// as an empty log with header_valid=false.
-Result<WalContents> ReadWal(const std::string& path);
+Result<WalContents> ReadWal(const std::string& path, Env* env = nullptr);
 
 }  // namespace persist
 }  // namespace daisy

@@ -9,6 +9,41 @@
 
 namespace daisy {
 
+const char* QueryTerminationToString(QueryTermination t) {
+  switch (t) {
+    case QueryTermination::kComplete:
+      return "complete";
+    case QueryTermination::kRowLimit:
+      return "row-limit";
+    case QueryTermination::kTimeout:
+      return "timeout";
+    case QueryTermination::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Status ExecContext::CheckResources(PlanNode* node) {
+  ++checks;
+  QueryTermination trip = QueryTermination::kComplete;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    trip = QueryTermination::kCancelled;
+  } else if (trip_after_checks != 0 && checks >= trip_after_checks) {
+    trip = QueryTermination::kCancelled;
+  } else if (has_deadline &&
+             std::chrono::steady_clock::now() >= deadline) {
+    trip = QueryTermination::kTimeout;
+  }
+  if (trip == QueryTermination::kComplete) return Status::OK();
+  termination = trip;
+  cut_node = node->Label();
+  node->stats().cut = trip;
+  if (trip == QueryTermination::kTimeout) {
+    return Status::Timeout("query deadline exceeded at " + cut_node);
+  }
+  return Status::Cancelled("query cancelled at " + cut_node);
+}
+
 void PlanNode::ResetStatsRecursive() {
   stats_ = NodeStats{};
   for (const auto& child : children_) child->ResetStatsRecursive();
@@ -46,6 +81,7 @@ Status ScanNode::Open(ExecContext* ctx) {
 }
 
 Result<bool> ScanNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
   const size_t n = end_;
   if (pos_ >= n) return false;
   out->clear();
@@ -109,10 +145,18 @@ Status FilterNode::ParallelScan(ExecContext* ctx) {
   std::vector<std::vector<RowId>> matches(morsels);
   std::vector<size_t> live_in_morsel(morsels, 0);
   std::atomic<size_t> next{0};
+  std::atomic<bool> interrupted{false};
   auto work = [&]() {
     while (true) {
       const size_t m = next.fetch_add(1, std::memory_order_relaxed);
       if (m >= morsels) break;
+      // Per-morsel cancellation probe (read-only, so safe off-thread); the
+      // serial CheckResources below records the cut after the pool joins.
+      if (interrupted.load(std::memory_order_relaxed) ||
+          ctx->InterruptRequested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
       const RowId lo = m * kMorselRows;
       const RowId hi = std::min<RowId>(n, lo + kMorselRows);
       std::vector<RowId>& out = matches[m];
@@ -129,6 +173,12 @@ Status FilterNode::ParallelScan(ExecContext* ctx) {
   pool.reserve(workers);
   for (size_t t = 0; t < workers; ++t) pool.emplace_back(work);
   for (std::thread& t : pool) t.join();
+  if (interrupted.load(std::memory_order_relaxed)) {
+    // The same condition the workers observed still holds (cancel flags
+    // stay set, deadlines stay expired), so this records the cut here and
+    // returns the typed error; the partial morsel results are discarded.
+    DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
+  }
 
   // Deterministic merge: morsel order == ascending row order == the exact
   // stream the serial pull produces.
@@ -152,6 +202,7 @@ Status FilterNode::ParallelScan(ExecContext* ctx) {
 
 Result<bool> FilterNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
   if (parallel_) {
+    DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
     if (parallel_pos_ >= parallel_rows_.size()) return false;
     const size_t count =
         std::min(ctx->batch_size, parallel_rows_.size() - parallel_pos_);
@@ -214,6 +265,10 @@ Status CleanSelectNode::Open(ExecContext* ctx) {
   DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows, child_rows_->Drain(ctx));
   stats_.rows_in = rows.size();
 
+  // Per-rule boundary: a rule's Run is all-or-nothing, so cutting here —
+  // after the child drained but before this rule cleaned — leaves the
+  // cleaning state exactly the prefix of rules below this node.
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
   DAISY_ASSIGN_OR_RETURN(CleanSelectResult cres,
                          op_->Run(filter_, rows, options_));
   rows = cres.final_rows;
@@ -259,6 +314,9 @@ Status CleanSelectNode::Open(ExecContext* ctx) {
                               : std::max<size_t>(1, epsilon / 10);
     if (cost_->ShouldSwitchToFull(table_->num_live_rows(), groups, epsilon,
                                   width)) {
+      // The full-clean sweep is another all-or-nothing unit; re-check the
+      // budget before committing to it.
+      DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
       DAISY_ASSIGN_OR_RETURN(CleanSelectResult fres,
                              op_->CleanRemaining(options_));
       cs.switched_to_full = true;
@@ -315,11 +373,13 @@ Result<std::vector<JoinedRow>> JoinNode::ExecuteJoin(ExecContext* ctx) {
   std::vector<std::vector<RowId>> qualifying;
   qualifying.reserve(children_.size());
   for (const auto& child : children_) {
+    DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
     auto* rows_child = static_cast<RowSetNode*>(child.get());
     DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows, rows_child->Drain(ctx));
     stats_.rows_in += rows.size();
     qualifying.push_back(std::move(rows));
   }
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
   DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
                          JoinTables(*tables_, qualifying, *joins_));
   stats_.rows_out = joined.size();
@@ -359,21 +419,67 @@ std::string OutputNode::Label() const {
 }
 
 Result<QueryOutput> OutputNode::ExecuteOutput(ExecContext* ctx) {
+  // The row limit only truncates what the client receives. Cleaning (and,
+  // for projections, the SPJ pipeline past the limit) still completes —
+  // CleanSelect children clean their whole qualifying set at Open — so a
+  // row-limited query leaves exactly the state of its unlimited twin.
+  auto mark_row_limit = [&] {
+    if (ctx->termination == QueryTermination::kComplete) {
+      ctx->termination = QueryTermination::kRowLimit;
+      ctx->cut_node = Label();
+      stats_.cut = QueryTermination::kRowLimit;
+    }
+  };
   std::vector<JoinedRow> joined;
   PlanNode* child = children_[0].get();
+  const size_t limit = kind_ == Kind::kProject ? ctx->row_limit : 0;
   if (child->kind() == Kind::kHashJoin || child->kind() == Kind::kCleanJoin) {
     DAISY_ASSIGN_OR_RETURN(joined,
                            static_cast<JoinNode*>(child)->ExecuteJoin(ctx));
+    if (limit != 0 && joined.size() > limit) {
+      joined.resize(limit);
+      mark_row_limit();
+    }
   } else {
-    DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows,
-                           static_cast<RowSetNode*>(child)->Drain(ctx));
+    auto* rows_child = static_cast<RowSetNode*>(child);
+    DAISY_RETURN_IF_ERROR(rows_child->Open(ctx));
+    std::vector<RowId> rows;
+    RowIdBatch batch;
+    bool truncated = false;
+    while (true) {
+      DAISY_ASSIGN_OR_RETURN(bool more, rows_child->NextBatch(ctx, &batch));
+      if (!more) break;
+      rows.insert(rows.end(), batch.begin(), batch.end());
+      if (limit != 0 && rows.size() > limit) {
+        truncated = true;
+        break;
+      }
+    }
+    if (truncated) {
+      rows.resize(limit);
+      mark_row_limit();
+    }
     joined.reserve(rows.size());
     for (RowId r : rows) joined.push_back(JoinedRow{r});
   }
   stats_.rows_in = joined.size();
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
   DAISY_ASSIGN_OR_RETURN(
       QueryOutput out,
       QueryExecutor::BuildOutput(*stmt_, *tables_, std::move(joined)));
+  if (kind_ == Kind::kAggregate && ctx->row_limit != 0 &&
+      out.result.num_rows() > ctx->row_limit) {
+    // Aggregates only know their output cardinality after grouping;
+    // rebuild the result with the first `row_limit` groups (cells keep
+    // their candidate sets).
+    Table head(out.result.name(), out.result.schema());
+    head.Reserve(ctx->row_limit);
+    for (RowId r = 0; r < ctx->row_limit; ++r) {
+      head.AppendRowUnchecked(out.result.row(r));
+    }
+    out.result = std::move(head);
+    mark_row_limit();
+  }
   stats_.rows_out = out.result.num_rows();
   ++stats_.batches;
   return out;
@@ -400,6 +506,9 @@ void RenderNode(const PlanNode& node, size_t depth, bool executed,
     }
     if (node.stats().pruned) *oss << " pruned";
     if (node.stats().switched_to_full) *oss << " switched-to-full";
+    if (node.stats().cut != QueryTermination::kComplete) {
+      *oss << " cut=" << QueryTerminationToString(node.stats().cut);
+    }
   }
   *oss << "\n";
   for (const auto& child : node.children()) {

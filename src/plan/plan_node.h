@@ -15,6 +15,8 @@
 #ifndef DAISY_PLAN_PLAN_NODE_H_
 #define DAISY_PLAN_PLAN_NODE_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +49,41 @@ struct CleaningExecStats {
   double min_estimated_accuracy = 1.0;
 };
 
+/// How an execution ended. Everything except kComplete means the plan was
+/// cut at a batch or per-rule boundary: the output may be truncated (row
+/// limit) or empty (timeout/cancel), and any cleaning already performed is
+/// a valid monotone prefix of the uncut execution — coverage never
+/// corrupts (see docs/architecture.md, resource governance).
+enum class QueryTermination : uint8_t {
+  kComplete = 0,
+  kRowLimit,   ///< output truncated; cleaning still ran to completion
+  kTimeout,    ///< deadline exceeded; cut mid-plan
+  kCancelled,  ///< cooperative cancel observed; cut mid-plan
+};
+
+const char* QueryTerminationToString(QueryTermination t);
+
+/// Resource limits for one execution (see DaisyEngine::QueryLimits, which
+/// is an alias — the engine converts wall-clock timeout to a deadline at
+/// Execute entry).
+struct ExecLimits {
+  /// Wall-clock budget in milliseconds; negative = unlimited. 0 expires at
+  /// the first boundary check (useful to test the cut machinery).
+  int64_t timeout_ms = -1;
+  /// Maximum result rows; 0 = unlimited. Only truncates the output — the
+  /// cleaning an uncut query would perform still completes.
+  size_t row_limit = 0;
+  /// Caller-owned cooperative cancel flag; checked (relaxed) at every
+  /// boundary. Null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test hook: deterministically cancel at the Nth serial boundary check
+  /// (1-based; 0 = off). The monotone-prefix differential sweeps this to
+  /// cut a query at every boundary without racing wall clocks.
+  uint64_t trip_after_checks = 0;
+};
+
+class PlanNode;
+
 /// Per-execution state threaded through the operator tree.
 struct ExecContext {
   size_t batch_size = 1024;
@@ -57,6 +94,36 @@ struct ExecContext {
   size_t worker_threads = 1;
   size_t rows_scanned = 0;  ///< Σ base-table rows opened by Scan nodes
   CleaningExecStats cleaning;
+
+  // Resource governance (filled in by Plan::Execute from ExecLimits).
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  size_t row_limit = 0;
+  const std::atomic<bool>* cancel = nullptr;
+  uint64_t trip_after_checks = 0;
+  uint64_t checks = 0;  ///< serial boundary checks performed so far
+  QueryTermination termination = QueryTermination::kComplete;
+  std::string cut_node;  ///< label of the node whose boundary check tripped
+
+  /// The cooperative cancellation point, called by every operator at batch
+  /// and per-rule boundaries. OK while the query may continue; on a
+  /// tripped deadline/cancel it records the termination kind and the
+  /// cutting node, marks the node's stats for EXPLAIN ANALYZE, and
+  /// returns kTimeout/kCancelled — the operator propagates the error and
+  /// Plan::Execute converts it into a partial QueryReport. Every call
+  /// happens *between* units of work, so the state left behind is always
+  /// a completed prefix.
+  Status CheckResources(PlanNode* node);
+
+  /// Deadline/cancel probe without the serial bookkeeping — safe from
+  /// morsel worker threads (reads only). The owning node re-runs
+  /// CheckResources after joining its pool to record the cut.
+  bool InterruptRequested() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 /// Base of every physical operator.
@@ -80,6 +147,9 @@ class PlanNode {
     size_t delta_rows_checked = 0;  ///< CleanSelect: ingested rows settled
     bool pruned = false;            ///< CleanSelect skipped cleaning
     bool switched_to_full = false;  ///< cost model fired at this node
+    /// Set when a resource check cut the plan at this node (rendered by
+    /// EXPLAIN ANALYZE as "cut=timeout" etc.).
+    QueryTermination cut = QueryTermination::kComplete;
   };
 
   explicit PlanNode(Kind kind) : kind_(kind) {}

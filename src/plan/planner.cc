@@ -56,6 +56,14 @@ Result<QueryOutput> Plan::Execute() {
   ExecContext ctx;
   ctx.batch_size = batch_size_;
   ctx.worker_threads = worker_threads_;
+  ctx.row_limit = limits_.row_limit;
+  ctx.cancel = limits_.cancel;
+  ctx.trip_after_checks = limits_.trip_after_checks;
+  if (limits_.timeout_ms >= 0) {
+    ctx.has_deadline = true;
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(limits_.timeout_ms);
+  }
   // Pin every FROM table's ingest state; verified after the run. Cleaning
   // side effects repair cells in place and never append or delete rows, so
   // a moved pair can only mean an ingest raced this execution.
@@ -64,7 +72,19 @@ Result<QueryOutput> Plan::Execute() {
   for (const Table* t : state_->const_tables) pinned.push_back(t->Snapshot());
   root_->ResetStatsRecursive();
   auto* output = static_cast<OutputNode*>(root_.get());
-  DAISY_ASSIGN_OR_RETURN(QueryOutput out, output->ExecuteOutput(&ctx));
+  Result<QueryOutput> run = output->ExecuteOutput(&ctx);
+  termination_ = ctx.termination;
+  cut_node_ = ctx.cut_node;
+  resource_checks_ = ctx.checks;
+  // A governance cut (deadline/cancel) surfaces as kTimeout/kCancelled from
+  // the node that tripped. It is not a failure: every rule evaluation that
+  // ran to completion before the cut already left valid cleaning state (a
+  // monotone prefix of the full execution), so we report an empty output
+  // with the termination recorded instead of propagating the error.
+  const bool cut =
+      !run.ok() && (run.status().code() == StatusCode::kTimeout ||
+                    run.status().code() == StatusCode::kCancelled);
+  if (!run.ok() && !cut) return run.status();
   for (size_t i = 0; i < state_->const_tables.size(); ++i) {
     const TableSnapshot now = state_->const_tables[i]->Snapshot();
     if (now.append_version != pinned[i].append_version ||
@@ -75,6 +95,7 @@ Result<QueryOutput> Plan::Execute() {
           "must serialize behind the engine's writer lock");
     }
   }
+  QueryOutput out = cut ? QueryOutput{} : std::move(run).value();
   out.rows_scanned = ctx.rows_scanned;
   cleaning_ = ctx.cleaning;
   executed_ = true;

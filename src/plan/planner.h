@@ -87,6 +87,19 @@ class Plan {
   /// are identical for any value.
   void set_worker_threads(size_t n) { worker_threads_ = n == 0 ? 1 : n; }
 
+  /// Resource limits (deadline, row limit, cancel flag) applied to the
+  /// next Execute(); the wall-clock timeout becomes a deadline at Execute
+  /// entry. A cut execution (timeout/cancel) is NOT an error: Execute
+  /// returns an empty output and termination() reports the cut, while the
+  /// cleaning already performed stays — a valid monotone prefix.
+  void set_limits(const ExecLimits& limits) { limits_ = limits; }
+
+  /// How the last Execute() ended, where it was cut, and how many serial
+  /// boundary checks ran (the trip_after_checks sweep domain).
+  QueryTermination termination() const { return termination_; }
+  const std::string& cut_node() const { return cut_node_; }
+  uint64_t resource_checks() const { return resource_checks_; }
+
   /// True when every cleanσ node of this plan is quiescent (see
   /// CleanSelect::quiescent): executing the plan performs no cleaning-state
   /// mutation, so the engine may serve it under its shared reader lock.
@@ -113,6 +126,10 @@ class Plan {
   bool executed_ = false;
   size_t batch_size_ = 1024;
   size_t worker_threads_ = 1;
+  ExecLimits limits_;
+  QueryTermination termination_ = QueryTermination::kComplete;
+  std::string cut_node_;
+  uint64_t resource_checks_ = 0;
 };
 
 /// Stateless plan builder over a database catalog.
