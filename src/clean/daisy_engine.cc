@@ -21,6 +21,12 @@ void ApplyEnvOverrides(DaisyOptions* options) {
     if (s == "1" || s == "true") options->columnar_filters = true;
     fired = true;
   }
+  if (const char* v = std::getenv("DAISY_OPTIMIZER")) {
+    const std::string s(v);
+    if (s == "0" || s == "false") options->optimizer = false;
+    if (s == "1" || s == "true") options->optimizer = true;
+    fired = true;
+  }
   if (const char* v = std::getenv("DAISY_DETECT_THREADS")) {
     const long n = std::strtol(v, nullptr, 10);
     if (n > 0) options->detect_threads = static_cast<size_t>(n);
@@ -37,9 +43,9 @@ void ApplyEnvOverrides(DaisyOptions* options) {
   if (fired) {
     static const bool announced = [] {
       std::fprintf(stderr,
-                   "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_DETECT_THREADS/"
-                   "DAISY_QUERY_THREADS set: overriding DaisyOptions (CI "
-                   "ablation hook)\n");
+                   "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_OPTIMIZER/"
+                   "DAISY_DETECT_THREADS/DAISY_QUERY_THREADS set: overriding "
+                   "DaisyOptions (CI ablation hook)\n");
       return true;
     }();
     (void)announced;
@@ -174,6 +180,7 @@ Status DaisyEngine::Prepare() {
     binding.table = state.table;
     binding.op = state.op.get();
     binding.cost = &state.cost;
+    binding.theta = state.theta.get();
     plan_context_->rules.emplace(name, binding);
   }
   prepared_ = true;
@@ -231,6 +238,7 @@ Result<Plan> DaisyEngine::MakePlan(const SelectStmt& stmt) {
   }
   Planner planner(db_);
   planner.set_columnar_filters(options_.columnar_filters);
+  planner.set_optimizer(options_.optimizer);
   DAISY_ASSIGN_OR_RETURN(Plan plan,
                          planner.PlanQuery(stmt, plan_context_.get()));
   plan.set_worker_threads(options_.query_threads);
@@ -248,6 +256,7 @@ Result<QueryReport> DaisyEngine::ExecutePlanLocked(Plan* plan, bool read_path,
   report.detect_ops = cs.detect_ops;
   report.rules_applied = cs.rules_applied;
   report.rules_pruned = cs.rules_pruned;
+  report.rules_deferred = cs.rules_deferred;
   report.delta_rows_checked = cs.delta_rows_checked;
   report.switched_to_full = cs.switched_to_full;
   report.used_dc_full_clean = cs.used_dc_full_clean;

@@ -61,6 +61,14 @@ struct DaisyOptions {
   /// Compile plan Filter predicates against the ColumnCache typed arrays
   /// (ablation switch; the row-path evaluator is the fallback).
   bool columnar_filters = true;
+  /// Cost-based optimizer pass (src/plan/optimizer.h): DP join ordering
+  /// and cleanσ placement between Planner lowering and execution. Off =
+  /// the syntactic left-deep plan. Outputs
+  /// are bit-identical either way; cleanσ deferral may leave *less*
+  /// checked-coverage behind (it cleans join survivors instead of the full
+  /// qualifying set — the query-driven ideal), so the flag is
+  /// semantics-affecting for WAL replay and persisted with snapshots.
+  bool optimizer = true;
   /// Morsel workers for a single query's Scan+Filter chains (1 = serial).
   /// Results are deterministic for any value.
   size_t query_threads = 1;
@@ -72,11 +80,11 @@ struct DaisyOptions {
 };
 
 /// CI ablation hooks: when the environment variables DAISY_COLUMNAR_FILTERS
-/// ("0"/"1"), DAISY_DETECT_THREADS, or DAISY_QUERY_THREADS (positive
-/// integers) are set, they override the corresponding fields so the whole
-/// test suite can run with a non-default configuration (see the ablation
-/// leg in .github/workflows). A no-op when no variable is set. Applied by
-/// the DaisyEngine constructor.
+/// ("0"/"1"), DAISY_OPTIMIZER ("0"/"1"), DAISY_DETECT_THREADS, or
+/// DAISY_QUERY_THREADS (positive integers) are set, they override the
+/// corresponding fields so the whole test suite can run with a non-default
+/// configuration (see the ablation leg in .github/workflows). A no-op when
+/// no variable is set. Applied by the DaisyEngine constructor.
 void ApplyEnvOverrides(DaisyOptions* options);
 
 /// Engine health state machine (see docs/architecture.md). Transitions are
@@ -135,6 +143,7 @@ struct QueryReport {
   size_t detect_ops = 0;         ///< violation-check comparisons
   size_t rules_applied = 0;      ///< cleaning operators injected
   size_t rules_pruned = 0;       ///< skipped via statistics/checked state
+  size_t rules_deferred = 0;     ///< cleanσ placed above the join (optimizer)
   size_t delta_rows_checked = 0; ///< ingested rows settled by this query
   bool switched_to_full = false; ///< cost model fired this query
   bool used_dc_full_clean = false;

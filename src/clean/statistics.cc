@@ -64,4 +64,16 @@ bool Statistics::RowsTouchDirty(const Table& table, const DenialConstraint& dc,
   return false;
 }
 
+double Statistics::DirtyFraction(const std::string& rule) const {
+  const FdRuleStats* stats = ForRule(rule);
+  if (stats == nullptr || stats->table_rows == 0) return 0.0;
+  return static_cast<double>(stats->num_violating_rows) /
+         static_cast<double>(stats->table_rows);
+}
+
+double Statistics::CandidateWidth(const std::string& rule) const {
+  const FdRuleStats* stats = ForRule(rule);
+  return stats == nullptr ? 1.0 : stats->avg_candidates;
+}
+
 }  // namespace daisy

@@ -63,6 +63,18 @@ class Statistics {
   bool RowsTouchDirty(const Table& table, const DenialConstraint& dc,
                       const std::vector<RowId>& rows) const;
 
+  // Estimator inputs for the cost-based optimizer (src/plan/optimizer.cc):
+  // the same ε and p the cost model consumes, normalized so cleaning work
+  // can be priced against an estimated input cardinality.
+
+  /// ε/n — the fraction of the rule's table in violating groups. 0 when
+  /// the rule is clean, unknown, or not an FD.
+  double DirtyFraction(const std::string& rule) const;
+
+  /// p — the mean candidate-set width a repair of this rule attaches.
+  /// 1.0 when unknown (a clean rule repairs nothing).
+  double CandidateWidth(const std::string& rule) const;
+
  private:
   std::unordered_map<std::string, FdRuleStats> per_rule_;
 };

@@ -147,6 +147,14 @@ class ThetaJoinDetector {
   /// After full coverage it equals a from-scratch DetectAll, bit for bit.
   const std::vector<ViolationPair>& maintained_violations();
 
+  /// Size of the maintained set *without* syncing retractions first — a
+  /// pure read for plan-time cardinality estimation (the estimator runs
+  /// under the engine's shared lock, where a sync's mutation would race
+  /// other readers). May overcount by pairs whose deletion has not been
+  /// folded in yet; writers sync before unlocking, so the slack is
+  /// bounded by the current writer section.
+  size_t maintained_violation_count() const { return maintained_.size(); }
+
   /// Number of pairs deletions pruned from the maintained set since the
   /// last call (syncs first). The engine uses a non-zero result as the
   /// signal that repairs derived from the retracted evidence must be

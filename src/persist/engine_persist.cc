@@ -104,6 +104,7 @@ Status DaisyEngine::WriteSnapshotLocked(const std::string& path) {
   view.options.theta_partitions = options_.theta_partitions;
   view.options.use_statistics_pruning = options_.use_statistics_pruning;
   view.options.theta_pruning = options_.theta_pruning;
+  view.options.optimizer = options_.optimizer;
   for (const std::string& name : db_->TableNames()) {
     DAISY_ASSIGN_OR_RETURN(const Table* table,
                            static_cast<const Database*>(db_)->GetTable(name));
@@ -361,6 +362,7 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
   options.theta_partitions = snap.options.theta_partitions;
   options.use_statistics_pruning = snap.options.use_statistics_pruning;
   options.theta_pruning = snap.options.theta_pruning;
+  options.optimizer = snap.options.optimizer;
   auto engine =
       std::make_unique<DaisyEngine>(db, std::move(constraints), options);
   engine->env_ = e;

@@ -52,7 +52,12 @@ inline constexpr char kWalMagic[8] = {'D', 'S', 'Y', 'W',
 
 /// Bumped on any incompatible change to the section payload encodings. A
 /// checked-in v1 fixture pins backward compatibility in the test suite.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// v2 appends the optimizer flag to the meta section; readers accept every
+/// version in [kMinSnapshotVersion, kSnapshotVersion] and default fields a
+/// version predates (v1 snapshots load with optimizer = true, the engine
+/// default).
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kMinSnapshotVersion = 1;
 
 // Section ids. New sections get fresh ids; ids are never reused.
 inline constexpr uint32_t kSectionEnd = 0;

@@ -495,6 +495,7 @@ Status WriteSnapshot(const std::string& path,
     w.WriteU64(view.options.theta_partitions);
     w.WriteU8(view.options.use_statistics_pruning ? 1 : 0);
     w.WriteU8(view.options.theta_pruning ? 1 : 0);
+    w.WriteU8(view.options.optimizer ? 1 : 0);  // v2
     AppendSection(kSectionMeta, w.buffer(), &bytes);
   }
   {
@@ -540,13 +541,16 @@ Result<EngineSnapshot> ReadSnapshot(const std::string& path, Env* env) {
       std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return Status::ParseError("not a daisy snapshot: " + path);
   }
+  uint32_t version = 0;
   {
     BinaryReader version_reader(bytes.data() + sizeof(kSnapshotMagic), 4);
-    DAISY_ASSIGN_OR_RETURN(uint32_t version, version_reader.ReadU32());
-    if (version != kSnapshotVersion) {
-      return Status::ParseError("snapshot " + path + " has format version " +
-                                std::to_string(version) + ", expected " +
-                                std::to_string(kSnapshotVersion));
+    DAISY_ASSIGN_OR_RETURN(version, version_reader.ReadU32());
+    if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
+      return Status::ParseError(
+          "snapshot " + path + " has format version " +
+          std::to_string(version) + ", supported range [" +
+          std::to_string(kMinSnapshotVersion) + ", " +
+          std::to_string(kSnapshotVersion) + "]");
     }
   }
 
@@ -592,6 +596,10 @@ Result<EngineSnapshot> ReadSnapshot(const std::string& path, Env* env) {
         snap.options.use_statistics_pruning = pruning != 0;
         DAISY_ASSIGN_OR_RETURN(uint8_t theta_pruning, section.ReadU8());
         snap.options.theta_pruning = theta_pruning != 0;
+        if (version >= 2) {
+          DAISY_ASSIGN_OR_RETURN(uint8_t optimizer, section.ReadU8());
+          snap.options.optimizer = optimizer != 0;
+        }
         break;
       }
       case kSectionTables: {

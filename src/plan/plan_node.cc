@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "query/eval.h"
 
@@ -346,7 +349,7 @@ Result<bool> CleanSelectNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
 JoinNode::JoinNode(Kind kind, const std::vector<const Table*>* tables,
                    const std::vector<SplitWhere::JoinPred>* joins,
                    std::vector<std::unique_ptr<PlanNode>> children)
-    : PlanNode(kind), tables_(tables), joins_(joins) {
+    : JoinSourceNode(kind), tables_(tables), joins_(joins) {
   children_ = std::move(children);
 }
 
@@ -369,7 +372,7 @@ std::string JoinNode::Label() const {
   return oss.str();
 }
 
-Result<std::vector<JoinedRow>> JoinNode::ExecuteJoin(ExecContext* ctx) {
+Result<std::vector<JoinedRow>> JoinNode::ExecuteJoined(ExecContext* ctx) {
   std::vector<std::vector<RowId>> qualifying;
   qualifying.reserve(children_.size());
   for (const auto& child : children_) {
@@ -382,6 +385,269 @@ Result<std::vector<JoinedRow>> JoinNode::ExecuteJoin(ExecContext* ctx) {
   DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
   DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
                          JoinTables(*tables_, qualifying, *joins_));
+  stats_.rows_out = joined.size();
+  ++stats_.batches;
+  return joined;
+}
+
+// ---------------------------------------------------------- HashJoinStep --
+
+HashJoinStepNode::HashJoinStepNode(Kind kind,
+                                   const std::vector<const Table*>* tables,
+                                   SplitWhere::JoinPred pred,
+                                   uint64_t left_mask, uint64_t right_mask,
+                                   int left_from, int right_from,
+                                   bool build_left,
+                                   std::unique_ptr<PlanNode> left,
+                                   std::unique_ptr<PlanNode> right)
+    : JoinSourceNode(kind),
+      tables_(tables),
+      pred_(pred),
+      left_mask_(left_mask),
+      right_mask_(right_mask),
+      left_from_(left_from),
+      right_from_(right_from),
+      build_left_(build_left) {
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+std::string HashJoinStepNode::Label() const {
+  std::ostringstream oss;
+  oss << (kind_ == Kind::kCleanJoin ? "CleanJoin [" : "HashJoin [")
+      << (*tables_)[pred_.left_table]->name() << "."
+      << (*tables_)[pred_.left_table]->schema().column(pred_.left_col).name
+      << " = " << (*tables_)[pred_.right_table]->name() << "."
+      << (*tables_)[pred_.right_table]->schema().column(pred_.right_col).name
+      << "] [build=" << (build_left_ ? "left" : "right") << "]";
+  return oss.str();
+}
+
+Result<std::vector<JoinedRow>> HashJoinStepNode::SideRows(ExecContext* ctx,
+                                                          size_t side) {
+  PlanNode* child = children_[side].get();
+  const int from = side == 0 ? left_from_ : right_from_;
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
+  if (from >= 0) {
+    auto* rows_child = static_cast<RowSetNode*>(child);
+    DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows, rows_child->Drain(ctx));
+    std::vector<JoinedRow> out;
+    out.reserve(rows.size());
+    for (RowId r : rows) {
+      JoinedRow j(tables_->size(), 0);
+      j[static_cast<size_t>(from)] = r;
+      out.push_back(std::move(j));
+    }
+    return out;
+  }
+  return static_cast<JoinSourceNode*>(child)->ExecuteJoined(ctx);
+}
+
+Result<std::vector<JoinedRow>> HashJoinStepNode::ExecuteJoined(
+    ExecContext* ctx) {
+  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> left, SideRows(ctx, 0));
+  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> right, SideRows(ctx, 1));
+  stats_.rows_in += left.size() + right.size();
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
+
+  // Resolve which end of the predicate lives in which subtree, then pick
+  // the build side the optimizer chose.
+  const bool pred_left_in_left = ((left_mask_ >> pred_.left_table) & 1u) != 0;
+  const size_t l_tab = pred_left_in_left ? pred_.left_table : pred_.right_table;
+  const size_t l_col = pred_left_in_left ? pred_.left_col : pred_.right_col;
+  const size_t r_tab = pred_left_in_left ? pred_.right_table : pred_.left_table;
+  const size_t r_col = pred_left_in_left ? pred_.right_col : pred_.left_col;
+
+  std::vector<JoinedRow>& build = build_left_ ? left : right;
+  std::vector<JoinedRow>& probe = build_left_ ? right : left;
+  const size_t bt = build_left_ ? l_tab : r_tab;
+  const size_t bc = build_left_ ? l_col : r_col;
+  const size_t pt = build_left_ ? r_tab : l_tab;
+  const size_t pc = build_left_ ? r_col : l_col;
+  const uint64_t build_mask = build_left_ ? left_mask_ : right_mask_;
+  const Table& btab = *(*tables_)[bt];
+  const Table& ptab = *(*tables_)[pt];
+
+  // Build: every point candidate of a build row's join cell hashes the
+  // build index; rows whose cell carries range candidates also go to a
+  // linear-probe side list. This is the naive JoinStep build verbatim,
+  // keyed by build-side tuple index instead of base row id so each joined
+  // build tuple pairs with each probe tuple at most once.
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> hash;
+  std::vector<size_t> range_rows;
+  hash.reserve(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    const Cell& cell = btab.cell(build[i][bt], bc);
+    bool has_range = false;
+    if (cell.is_probabilistic()) {
+      for (const Candidate& c : cell.candidates()) {
+        if (c.kind != CandidateKind::kPoint) {
+          has_range = true;
+          continue;
+        }
+        hash[c.value].push_back(i);
+      }
+    } else {
+      hash[cell.original()].push_back(i);
+    }
+    if (has_range) range_rows.push_back(i);
+  }
+
+  std::vector<JoinedRow> out;
+  std::vector<size_t> matched;
+  for (const JoinedRow& prow : probe) {
+    const Cell& pcell = ptab.cell(prow[pt], pc);
+    matched.clear();
+    for (const Value& v : pcell.PossibleValues()) {
+      auto it = hash.find(v);
+      if (it == hash.end()) continue;
+      matched.insert(matched.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(matched.begin(), matched.end());
+    matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+    // Range rows append to the tail; membership checks must stay within
+    // the sorted hash-match prefix.
+    const size_t sorted_end = matched.size();
+    for (size_t i : range_rows) {
+      if (std::binary_search(matched.begin(), matched.begin() + sorted_end,
+                             i)) {
+        continue;
+      }
+      if (CellsMayMatch(pcell, CompareOp::kEq, btab.cell(build[i][bt], bc))) {
+        matched.push_back(i);
+      }
+    }
+    // Per-probe emission sorted by build tuple: when the build child is a
+    // leaf this is its row-id order — exactly the naive JoinStep's sorted
+    // extension, which is what lets the planner skip the root sort on
+    // naive-shaped trees. (For reordered trees the root sort decides.)
+    std::sort(matched.begin(), matched.end(),
+              [&build](size_t a, size_t b) { return build[a] < build[b]; });
+    for (size_t i : matched) {
+      JoinedRow j = prow;
+      const JoinedRow& b = build[i];
+      for (size_t t = 0; t < j.size(); ++t) {
+        if (((build_mask >> t) & 1u) != 0) j[t] = b[t];
+      }
+      out.push_back(std::move(j));
+    }
+  }
+
+  // Canonical order at the tree root: the naive left-deep join emits rows
+  // lexicographically sorted by FROM-position row-id tuple (per-step
+  // sorted extension of an inductively sorted prefix), so sorting here
+  // makes any join order produce byte-identical output. The planner skips
+  // it when the chosen tree IS the naive left-deep chain: there the
+  // per-probe sorted emission above already reproduces those bytes.
+  if (sort_output_) std::sort(out.begin(), out.end());
+  stats_.rows_out = out.size();
+  ++stats_.batches;
+  return out;
+}
+
+// ----------------------------------------------------------- CleanJoined --
+
+CleanJoinedNode::CleanJoinedNode(Table* table, size_t table_idx,
+                                 const DenialConstraint* dc, CleanSelect* op,
+                                 CostModel* cost,
+                                 const FdRuleStats* rule_stats,
+                                 const Expr* filter, CleaningOptions options,
+                                 bool adaptive,
+                                 std::unique_ptr<PlanNode> child)
+    : JoinSourceNode(Kind::kCleanSelect),
+      table_(table),
+      table_idx_(table_idx),
+      dc_(dc),
+      op_(op),
+      cost_(cost),
+      rule_stats_(rule_stats),
+      filter_(filter),
+      options_(options),
+      adaptive_(adaptive) {
+  child_join_ = static_cast<JoinSourceNode*>(child.get());
+  children_.push_back(std::move(child));
+}
+
+std::string CleanJoinedNode::Label() const {
+  return "CleanSelect [rule=" + dc_->name() + (dc_->IsFd() ? " fd" : " dc") +
+         "]" + (adaptive_ ? " [adaptive]" : "") + " [deferred]";
+}
+
+Result<std::vector<JoinedRow>> CleanJoinedNode::ExecuteJoined(
+    ExecContext* ctx) {
+  DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
+                         child_join_->ExecuteJoined(ctx));
+  stats_.rows_in = joined.size();
+
+  // The distinct rows this table contributes to the join survivors — the
+  // only rows of it whose cells the answer can possibly read. A selective
+  // join below makes this set (much) smaller than the full qualifying set
+  // the in-chain placement would clean.
+  std::vector<RowId> rows;
+  rows.reserve(joined.size());
+  for (const JoinedRow& j : joined) rows.push_back(j[table_idx_]);
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  // Same per-rule boundary + bookkeeping as the in-chain CleanSelectNode.
+  DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
+  DAISY_ASSIGN_OR_RETURN(CleanSelectResult cres,
+                         op_->Run(filter_, rows, options_));
+
+  CleaningExecStats& cs = ctx->cleaning;
+  ++cs.rules_applied;
+  ++cs.rules_deferred;
+  if (cres.pruned) {
+    ++cs.rules_pruned;
+    stats_.pruned = true;
+  }
+  cs.extra_tuples += cres.extra_tuples;
+  cs.errors_fixed += cres.errors_fixed;
+  cs.tuples_scanned += cres.tuples_scanned;
+  cs.detect_ops += cres.detect_ops;
+  cs.delta_rows_checked += cres.delta_rows_checked;
+  stats_.delta_rows_checked = cres.delta_rows_checked;
+  cs.used_dc_full_clean |= cres.used_full_clean;
+  cs.min_estimated_accuracy =
+      std::min(cs.min_estimated_accuracy, cres.estimated_accuracy);
+
+  const double width =
+      rule_stats_ != nullptr ? rule_stats_->avg_candidates : 2.0;
+  if (!cres.pruned) {
+    QueryCostSample sample;
+    sample.dataset_size = table_->num_live_rows();
+    sample.result_size = cres.final_rows.size();
+    sample.extra_size = cres.extra_tuples;
+    sample.errors = cres.errors_fixed;
+    sample.detect_ops = cres.detect_ops;
+    sample.candidate_width = width;
+    cost_->RecordQuery(sample);
+  }
+  if (adaptive_ && !op_->fully_checked()) {
+    const size_t epsilon = rule_stats_ != nullptr
+                               ? rule_stats_->num_violating_rows
+                               : table_->num_live_rows() / 10;
+    const size_t groups = rule_stats_ != nullptr
+                              ? rule_stats_->num_violating_groups
+                              : std::max<size_t>(1, epsilon / 10);
+    if (cost_->ShouldSwitchToFull(table_->num_live_rows(), groups, epsilon,
+                                  width)) {
+      DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
+      DAISY_ASSIGN_OR_RETURN(CleanSelectResult fres,
+                             op_->CleanRemaining(options_));
+      cs.switched_to_full = true;
+      stats_.switched_to_full = true;
+      cs.errors_fixed += fres.errors_fixed;
+      // No qualifying-row recompute here: the deferral gate guarantees the
+      // rule's repairs touch no filter or join-key column, so the joined
+      // row set is invariant under the full clean (optimizer.cc,
+      // DeferralIsExact).
+    }
+  }
+
+  // The joined rows pass through unchanged — the placement gate makes them
+  // invariant under this rule's repairs; the output builder above reads
+  // the repaired cells.
   stats_.rows_out = joined.size();
   ++stats_.batches;
   return joined;
@@ -433,9 +699,8 @@ Result<QueryOutput> OutputNode::ExecuteOutput(ExecContext* ctx) {
   std::vector<JoinedRow> joined;
   PlanNode* child = children_[0].get();
   const size_t limit = kind_ == Kind::kProject ? ctx->row_limit : 0;
-  if (child->kind() == Kind::kHashJoin || child->kind() == Kind::kCleanJoin) {
-    DAISY_ASSIGN_OR_RETURN(joined,
-                           static_cast<JoinNode*>(child)->ExecuteJoin(ctx));
+  if (auto* join_child = dynamic_cast<JoinSourceNode*>(child)) {
+    DAISY_ASSIGN_OR_RETURN(joined, join_child->ExecuteJoined(ctx));
     if (limit != 0 && joined.size() > limit) {
       joined.resize(limit);
       mark_row_limit();
@@ -499,6 +764,11 @@ void RenderNode(const PlanNode& node, size_t depth, bool executed,
   }
   for (size_t i = 0; i < depth; ++i) *oss << "  ";
   *oss << node.Label();
+  if (node.est_rows() >= 0.0) {
+    *oss << " est_rows=" << static_cast<long long>(std::llround(node.est_rows()))
+         << " est_cost="
+         << static_cast<long long>(std::llround(node.est_cost()));
+  }
   if (executed) {
     *oss << " rows=" << node.stats().rows_out;
     if (node.stats().delta_rows_checked > 0) {

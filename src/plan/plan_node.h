@@ -43,6 +43,7 @@ struct CleaningExecStats {
   size_t detect_ops = 0;
   size_t rules_applied = 0;
   size_t rules_pruned = 0;
+  size_t rules_deferred = 0;  ///< cleanσ placed above the join (optimizer)
   size_t delta_rows_checked = 0;  ///< ingested rows settled by this query
   bool switched_to_full = false;
   bool used_dc_full_clean = false;
@@ -168,6 +169,21 @@ class PlanNode {
   /// Nodes the plan text omits (children are rendered in their place).
   virtual bool HiddenInExplain() const { return false; }
 
+  /// True when executing this node in the current state performs no
+  /// cleaning-state mutation. Non-cleaning operators are trivially
+  /// quiescent; cleanσ nodes (chain or deferred) ask their operator.
+  virtual bool NodeCleaningQuiescent() const { return true; }
+
+  /// Optimizer estimates (negative = not annotated; only plans produced by
+  /// the cost-based optimizer carry them). Rendered by EXPLAIN as
+  /// "est_rows=N est_cost=N".
+  void set_estimates(double est_rows, double est_cost) {
+    est_rows_ = est_rows;
+    est_cost_ = est_cost;
+  }
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+
   /// Resets the counters of this subtree before a (re-)execution.
   void ResetStatsRecursive();
 
@@ -175,6 +191,8 @@ class PlanNode {
   Kind kind_;
   std::vector<std::unique_ptr<PlanNode>> children_;
   NodeStats stats_;
+  double est_rows_ = -1.0;
+  double est_cost_ = -1.0;
 };
 
 /// A single-table operator producing row-id batches.
@@ -271,6 +289,7 @@ class CleanSelectNode : public RowSetNode {
   /// mutation (see CleanSelect::quiescent) — the engine's shared read path
   /// requires it of every cleanσ node in the plan.
   bool CleaningQuiescent() const { return op_->quiescent(); }
+  bool NodeCleaningQuiescent() const override { return op_->quiescent(); }
 
  private:
   Table* table_;
@@ -287,21 +306,108 @@ class CleanSelectNode : public RowSetNode {
   size_t pos_ = 0;
 };
 
+/// Base of every operator producing fully joined rows (JoinedRow vectors
+/// indexed by FROM position). OutputNode consumes whichever concrete
+/// subtree the planner assembled — the syntactic n-ary JoinNode, an
+/// optimizer-built binary HashJoinStepNode tree, or a deferred cleanσ
+/// (CleanJoinedNode) stacked above either.
+class JoinSourceNode : public PlanNode {
+ public:
+  using PlanNode::PlanNode;
+  virtual Result<std::vector<JoinedRow>> ExecuteJoined(ExecContext* ctx) = 0;
+};
+
 /// Left-deep hash equi-join over the per-table chains (kCleanJoin labels
 /// the same runtime when the sides were cleaned — Lemma 5: no further
 /// violation checks are needed over clean inputs).
-class JoinNode : public PlanNode {
+class JoinNode : public JoinSourceNode {
  public:
   JoinNode(Kind kind, const std::vector<const Table*>* tables,
            const std::vector<SplitWhere::JoinPred>* joins,
            std::vector<std::unique_ptr<PlanNode>> children);
 
   std::string Label() const override;
-  Result<std::vector<JoinedRow>> ExecuteJoin(ExecContext* ctx);
+  Result<std::vector<JoinedRow>> ExecuteJoined(ExecContext* ctx) override;
 
  private:
   const std::vector<const Table*>* tables_;
   const std::vector<SplitWhere::JoinPred>* joins_;
+};
+
+/// One binary hash equi-join of an optimizer-built join tree. Each side is
+/// either a single-table chain (RowSetNode, FROM index recorded) or
+/// another joined-row source; the single predicate connecting the two
+/// sides was chosen by DP enumeration; the build side is the subtree
+/// holding the predicate's later-FROM endpoint, because possible-candidate
+/// matching is orientation-dependent and the naive executor always hashes
+/// that side. Matching mirrors the naive JoinStep bit for bit
+/// (possible-candidate point hashing + range-candidate side list, per-probe
+/// dedup); the root node of the tree canonically sorts its output
+/// lexicographically by FROM-position row-id tuple, which is exactly the
+/// order the syntactic left-deep join emits — optimized plans are
+/// bit-identical to naive plans by construction.
+class HashJoinStepNode : public JoinSourceNode {
+ public:
+  HashJoinStepNode(Kind kind, const std::vector<const Table*>* tables,
+                   SplitWhere::JoinPred pred, uint64_t left_mask,
+                   uint64_t right_mask, int left_from, int right_from,
+                   bool build_left, std::unique_ptr<PlanNode> left,
+                   std::unique_ptr<PlanNode> right);
+
+  std::string Label() const override;
+  Result<std::vector<JoinedRow>> ExecuteJoined(ExecContext* ctx) override;
+
+  /// Arm on the tree root: canonically sort the joined output.
+  void set_sort_output(bool v) { sort_output_ = v; }
+
+  uint64_t mask() const { return left_mask_ | right_mask_; }
+
+ private:
+  /// Drains one side into joined rows (leaf chains wrap their row ids at
+  /// their FROM position; join children pass through).
+  Result<std::vector<JoinedRow>> SideRows(ExecContext* ctx, size_t side);
+
+  const std::vector<const Table*>* tables_;
+  SplitWhere::JoinPred pred_;
+  uint64_t left_mask_;
+  uint64_t right_mask_;
+  int left_from_;   ///< FROM index when the left child is a chain, else -1
+  int right_from_;  ///< FROM index when the right child is a chain, else -1
+  bool build_left_;
+  bool sort_output_ = false;
+};
+
+/// cleanσ deferred above the join (optimizer placement): runs the same
+/// persistent CleanSelect operator, but over the distinct row ids its
+/// table contributes to the join survivors instead of the full qualifying
+/// set — the query-driven ideal when a selective join shrinks the rows the
+/// answer can possibly contain. Only placed when the rule's attributes are
+/// disjoint from the table's filter and join-key columns, which makes the
+/// joined row set invariant under this rule's repairs: the node returns
+/// its input rows unchanged and the final output reads the repaired cells.
+class CleanJoinedNode : public JoinSourceNode {
+ public:
+  CleanJoinedNode(Table* table, size_t table_idx, const DenialConstraint* dc,
+                  CleanSelect* op, CostModel* cost,
+                  const FdRuleStats* rule_stats, const Expr* filter,
+                  CleaningOptions options, bool adaptive,
+                  std::unique_ptr<PlanNode> child);
+
+  std::string Label() const override;
+  Result<std::vector<JoinedRow>> ExecuteJoined(ExecContext* ctx) override;
+  bool NodeCleaningQuiescent() const override { return op_->quiescent(); }
+
+ private:
+  Table* table_;
+  size_t table_idx_;
+  const DenialConstraint* dc_;
+  CleanSelect* op_;
+  CostModel* cost_;
+  const FdRuleStats* rule_stats_;
+  const Expr* filter_;  ///< the table's predicate; nullable
+  CleaningOptions options_;
+  bool adaptive_;
+  JoinSourceNode* child_join_;
 };
 
 /// Plan root: projection or grouped aggregation into a QueryOutput. Wraps

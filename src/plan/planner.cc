@@ -1,7 +1,12 @@
 #include "plan/planner.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
+#include "detect/theta_join.h"
+#include "plan/cardinality.h"
+#include "plan/optimizer.h"
 #include "query/eval.h"
 
 namespace daisy {
@@ -107,10 +112,7 @@ std::string Plan::Explain() const { return RenderPlanTree(*root_, executed_); }
 namespace {
 
 bool SubtreeQuiescent(const PlanNode& node) {
-  if (node.kind() == PlanNode::Kind::kCleanSelect &&
-      !static_cast<const CleanSelectNode&>(node).CleaningQuiescent()) {
-    return false;
-  }
+  if (!node.NodeCleaningQuiescent()) return false;
   for (const auto& child : node.children()) {
     if (!SubtreeQuiescent(*child)) return false;
   }
@@ -120,6 +122,87 @@ bool SubtreeQuiescent(const PlanNode& node) {
 }  // namespace
 
 bool Plan::CleaningQuiescent() const { return SubtreeQuiescent(*root_); }
+
+namespace {
+
+// One cleaning rule scheduled on a table, with the optimizer's placement
+// decision. Collected before any node exists so cleanσ placement can be
+// decided from estimates alone.
+struct RuleSlot {
+  const DenialConstraint* dc = nullptr;
+  const CleaningRuleBinding* binding = nullptr;
+  const FdRuleStats* rstats = nullptr;
+  bool statically_pruned = false;
+  bool deferred = false;    ///< run above the join instead of in the chain
+  double unit_cost = 0.0;   ///< per-row cleaning price (optimizer path)
+};
+
+// Sorted-vector intersection test (involved_columns() is sorted; locked
+// column sets are sorted before the call).
+bool SortedIntersects(const std::vector<size_t>& a,
+                      const std::vector<size_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+// True when the DP's winning tree is exactly the naive left-deep
+// FROM-order chain: at every level the right child is the leaf for the
+// highest table of the node's (contiguous) mask, built over (the
+// orientation rule puts the build on the later-FROM endpoint, i.e. that
+// leaf). There the per-probe sorted emission of HashJoinStepNode already
+// reproduces the naive bytes, so the root's canonical sort is skipped.
+bool IsNaiveChain(const JoinTree& t) {
+  const JoinTree* cur = &t;
+  while (cur->from < 0) {
+    if (cur->right == nullptr || cur->right->from < 0 || cur->build_left) {
+      return false;
+    }
+    size_t hi = 0;
+    uint64_t m = cur->mask;
+    while (m >>= 1) ++hi;
+    if (static_cast<size_t>(cur->right->from) != hi) return false;
+    cur = cur->left.get();
+  }
+  return cur->mask == 1;
+}
+
+// Materializes the DP's winning JoinTree as HashJoinStepNode operators,
+// consuming per-table chains at the leaves.
+std::unique_ptr<PlanNode> BuildJoinTreeNode(
+    const JoinTree& t, PlanNode::Kind kind,
+    const std::vector<const Table*>* tables,
+    const std::vector<SplitWhere::JoinPred>* joins,
+    std::vector<std::unique_ptr<PlanNode>>* chains) {
+  if (t.from >= 0) return std::move((*chains)[t.from]);
+  std::unique_ptr<PlanNode> left =
+      BuildJoinTreeNode(*t.left, kind, tables, joins, chains);
+  std::unique_ptr<PlanNode> right =
+      BuildJoinTreeNode(*t.right, kind, tables, joins, chains);
+  auto node = std::make_unique<HashJoinStepNode>(
+      kind, tables, (*joins)[t.pred_idx], t.left->mask, t.right->mask,
+      t.left->from, t.right->from, t.build_left, std::move(left),
+      std::move(right));
+  node->set_estimates(t.est_rows, t.est_cost);
+  return node;
+}
+
+}  // namespace
+
+Planner::Planner(Database* db) : db_(db) {
+  const char* env = std::getenv("DAISY_OPTIMIZER");
+  if (env != nullptr) {
+    const std::string v(env);
+    optimizer_ = !(v == "0" || v == "false");
+  }
+}
 
 Result<Plan> Planner::PlanQuery(const SelectStmt& stmt) {
   return PlanQuery(stmt, nullptr);
@@ -139,19 +222,15 @@ Result<Plan> Planner::PlanQuery(const SelectStmt& stmt,
   }
   DAISY_ASSIGN_OR_RETURN(state->split,
                          SplitWhereClause(state->stmt, state->const_tables));
+  const size_t n = state->tables.size();
 
-  // Per-table chain: Scan → Filter → cleanσ per overlapping rule.
-  std::vector<std::unique_ptr<PlanNode>> chains;
-  chains.reserve(state->tables.size());
-  for (size_t i = 0; i < state->tables.size(); ++i) {
-    Table* table = state->tables[i];
-    const Expr* filter = state->split.table_filters[i].get();
-    std::unique_ptr<PlanNode> node = std::make_unique<ScanNode>(table);
-    if (filter != nullptr) {
-      node = std::make_unique<FilterNode>(table, filter, columnar_filters_,
-                                          std::move(node));
-    }
-    if (clean != nullptr) {
+  // Collect the per-table cleaning work up front (Overlapping order — the
+  // order the chain applies them) so placement can be decided before any
+  // node exists.
+  std::vector<std::vector<RuleSlot>> table_rules(n);
+  if (clean != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      Table* table = state->tables[i];
       const std::vector<size_t> query_cols =
           QueryColumnsForTable(state->stmt, *table, state->split, i);
       const std::vector<const DenialConstraint*> overlapping =
@@ -162,24 +241,131 @@ Result<Plan> Planner::PlanQuery(const SelectStmt& stmt,
           return Status::Internal("no operator state for rule '" + dc->name() +
                                   "'");
         }
-        const CleaningRuleBinding& binding = it->second;
-        const FdRuleStats* rstats =
-            clean->statistics != nullptr
-                ? clean->statistics->ForRule(dc->name())
-                : nullptr;
-        auto clean_node = std::make_unique<CleanSelectNode>(
-            binding.table, dc, binding.op, binding.cost, rstats, filter,
-            clean->options, clean->adaptive, std::move(node));
-        if (clean->options.use_statistics_pruning && rstats != nullptr &&
-            rstats->num_violating_rows == 0) {
-          // The statistics prove the table clean for this rule: the node's
-          // runtime fast path can never do repair work, so the rendered
-          // plan drops it. Execution keeps the per-query prune-and-mark
-          // bookkeeping of the pre-plan engine loop.
-          clean_node->set_statically_pruned(true);
-        }
-        node = std::move(clean_node);
+        RuleSlot slot;
+        slot.dc = dc;
+        slot.binding = &it->second;
+        slot.rstats = clean->statistics != nullptr
+                          ? clean->statistics->ForRule(dc->name())
+                          : nullptr;
+        // The statistics prove the table clean for this rule: the node's
+        // runtime fast path can never do repair work, so the rendered
+        // plan drops it. Execution keeps the per-query prune-and-mark
+        // bookkeeping of the pre-plan engine loop.
+        slot.statically_pruned = clean->options.use_statistics_pruning &&
+                                 slot.rstats != nullptr &&
+                                 slot.rstats->num_violating_rows == 0;
+        table_rules[i].push_back(slot);
       }
+    }
+  }
+
+  // Cost-based optimization (plan/optimizer.h): join order by dpsize DP
+  // and cleanσ placement by the cost model, both only inside the
+  // exactness gate. Duplicate FROM entries (self-joins) keep the naive
+  // path — the cleaning bindings and subtree masks assume one chain per
+  // physical table.
+  std::unique_ptr<JoinTree> jt;
+  std::vector<double> scan_rows(n, 0.0);
+  std::vector<double> leaf_rows(n, 0.0);
+  double root_rows = 0.0;
+  if (optimizer_ && n > 1) {
+    bool distinct = true;
+    for (size_t i = 0; i < n && distinct; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (state->tables[i] == state->tables[j]) {
+          distinct = false;
+          break;
+        }
+      }
+    }
+    if (distinct) {
+      CardinalityEstimator est(state->const_tables);
+      for (size_t i = 0; i < n; ++i) {
+        scan_rows[i] = est.TableRows(i);
+        leaf_rows[i] =
+            est.FilteredRows(i, state->split.table_filters[i].get());
+      }
+      jt = EnumerateJoinOrder(est, state->split.joins, leaf_rows);
+      if (jt != nullptr) {
+        root_rows = jt->est_rows;
+        for (size_t i = 0; i < n; ++i) {
+          if (table_rules[i].empty()) continue;
+          // Columns a deferred rule must not touch: the table's filter
+          // and join-key columns (repairs there would change which rows
+          // qualify or match) plus every sibling rule's columns (repairs
+          // there would change what a rule running at a different point
+          // of the pipeline observes).
+          std::vector<size_t> locked;
+          const Expr* filter = state->split.table_filters[i].get();
+          if (filter != nullptr) {
+            CollectExprColumns(*filter, *state->tables[i], &locked);
+          }
+          for (const SplitWhere::JoinPred& p : state->split.joins) {
+            if (p.left_table == i) locked.push_back(p.left_col);
+            if (p.right_table == i) locked.push_back(p.right_col);
+          }
+          std::sort(locked.begin(), locked.end());
+          locked.erase(std::unique(locked.begin(), locked.end()),
+                       locked.end());
+          for (size_t k = 0; k < table_rules[i].size(); ++k) {
+            RuleSlot& slot = table_rules[i][k];
+            slot.unit_cost = CleaningUnitCost(
+                slot.binding->cost, slot.rstats,
+                slot.binding->theta != nullptr
+                    ? slot.binding->theta->maintained_violation_count()
+                    : 0,
+                scan_rows[i]);
+            if (slot.statically_pruned) continue;  // zero-cost in chain
+            if (SortedIntersects(slot.dc->involved_columns(), locked)) {
+              continue;
+            }
+            bool sibling_overlap = false;
+            for (size_t m = 0; m < table_rules[i].size(); ++m) {
+              if (m == k) continue;
+              if (SortedIntersects(slot.dc->involved_columns(),
+                                   table_rules[i][m].dc->involved_columns())) {
+                sibling_overlap = true;
+                break;
+              }
+            }
+            if (sibling_overlap) continue;
+            // The distinct rows this table contributes to the join
+            // survivors can't exceed either its own chain output or the
+            // join's total output.
+            const double after = std::min(leaf_rows[i], root_rows);
+            slot.deferred =
+                ShouldDeferCleaning(slot.unit_cost, leaf_rows[i], after);
+          }
+        }
+      }
+    }
+  }
+
+  // Per-table chain: Scan → Filter → cleanσ per in-chain rule.
+  std::vector<std::unique_ptr<PlanNode>> chains;
+  chains.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Table* table = state->tables[i];
+    const Expr* filter = state->split.table_filters[i].get();
+    std::unique_ptr<PlanNode> node = std::make_unique<ScanNode>(table);
+    if (jt != nullptr) node->set_estimates(scan_rows[i], scan_rows[i]);
+    if (filter != nullptr) {
+      node = std::make_unique<FilterNode>(table, filter, columnar_filters_,
+                                          std::move(node));
+      if (jt != nullptr) node->set_estimates(leaf_rows[i], scan_rows[i]);
+    }
+    for (const RuleSlot& slot : table_rules[i]) {
+      if (slot.deferred) continue;
+      auto clean_node = std::make_unique<CleanSelectNode>(
+          slot.binding->table, slot.dc, slot.binding->op, slot.binding->cost,
+          slot.rstats, filter, clean->options, clean->adaptive,
+          std::move(node));
+      if (slot.statically_pruned) clean_node->set_statically_pruned(true);
+      if (jt != nullptr) {
+        clean_node->set_estimates(leaf_rows[i],
+                                  slot.unit_cost * leaf_rows[i]);
+      }
+      node = std::move(clean_node);
     }
     chains.push_back(std::move(node));
   }
@@ -187,6 +373,33 @@ Result<Plan> Planner::PlanQuery(const SelectStmt& stmt,
   std::unique_ptr<PlanNode> child;
   if (chains.size() == 1) {
     child = std::move(chains[0]);
+  } else if (jt != nullptr) {
+    const PlanNode::Kind join_kind = clean != nullptr
+                                         ? PlanNode::Kind::kCleanJoin
+                                         : PlanNode::Kind::kHashJoin;
+    child = BuildJoinTreeNode(*jt, join_kind, &state->const_tables,
+                              &state->split.joins, &chains);
+    // The root of the optimized tree canonically sorts its output so any
+    // join order reproduces the naive left-deep bytes — unless the chosen
+    // tree IS the naive chain, whose emission is already in that order.
+    static_cast<HashJoinStepNode*>(child.get())
+        ->set_sort_output(!IsNaiveChain(*jt));
+    // Deferred cleanσ above the join, per-table rule order preserved (the
+    // placement gate makes deferred rules commute with everything, so the
+    // stacking order is cosmetic).
+    for (size_t i = 0; i < n; ++i) {
+      for (const RuleSlot& slot : table_rules[i]) {
+        if (!slot.deferred) continue;
+        const double after = std::min(leaf_rows[i], root_rows);
+        auto deferred_node = std::make_unique<CleanJoinedNode>(
+            slot.binding->table, i, slot.dc, slot.binding->op,
+            slot.binding->cost, slot.rstats,
+            state->split.table_filters[i].get(), clean->options,
+            clean->adaptive, std::move(child));
+        deferred_node->set_estimates(after, slot.unit_cost * after);
+        child = std::move(deferred_node);
+      }
+    }
   } else {
     child = std::make_unique<JoinNode>(
         clean != nullptr ? PlanNode::Kind::kCleanJoin

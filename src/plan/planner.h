@@ -33,6 +33,8 @@
 
 namespace daisy {
 
+class ThetaJoinDetector;
+
 /// Deep copy of a parsed statement (the WHERE tree is owning).
 SelectStmt CloneStmt(const SelectStmt& stmt);
 
@@ -43,6 +45,11 @@ struct CleaningRuleBinding {
   Table* table = nullptr;
   CleanSelect* op = nullptr;
   CostModel* cost = nullptr;
+  /// Optional: the rule's incremental violation index. The optimizer reads
+  /// its maintained count as a dirtiness signal when precomputed
+  /// statistics are absent (never synchronized at plan time — see
+  /// ThetaJoinDetector::maintained_violation_count).
+  const ThetaJoinDetector* theta = nullptr;
 };
 
 /// Cleaning side-inputs for plan construction.
@@ -135,7 +142,10 @@ class Plan {
 /// Stateless plan builder over a database catalog.
 class Planner {
  public:
-  explicit Planner(Database* db) : db_(db) {}
+  /// The constructor defaults the optimizer from DAISY_OPTIMIZER so bare
+  /// consumers (QueryExecutor) honor the ablation env directly; the Daisy
+  /// engine overrides it from DaisyOptions::optimizer right after.
+  explicit Planner(Database* db);
 
   /// Cleaning-oblivious plan (plain SPJ + group-by).
   Result<Plan> PlanQuery(const SelectStmt& stmt);
@@ -149,9 +159,15 @@ class Planner {
   /// (default) or keep the row-at-a-time evaluator.
   void set_columnar_filters(bool enabled) { columnar_filters_ = enabled; }
 
+  /// Cost-based optimization (join reordering + cleanσ placement, see
+  /// plan/optimizer.h). Off falls back to the syntactic left-deep plan.
+  void set_optimizer(bool enabled) { optimizer_ = enabled; }
+  bool optimizer() const { return optimizer_; }
+
  private:
   Database* db_;
   bool columnar_filters_ = true;
+  bool optimizer_ = true;
 };
 
 }  // namespace daisy

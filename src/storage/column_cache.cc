@@ -176,6 +176,26 @@ void ColumnCache::Extend(size_t c) {
   slot.built_rows = n;
 }
 
+size_t ColumnCache::TrimmedDistinctCount(size_t c, double frac) {
+  const Column& col = column(c);
+  if (!col.numeric_only || col.has_nulls || col.sorted_num.empty() ||
+      frac <= 0.0 || frac >= 0.5) {
+    return col.dict.size();
+  }
+  const std::vector<double>& s = col.sorted_num;
+  const size_t n = s.size();
+  const size_t lo = static_cast<size_t>(frac * static_cast<double>(n));
+  const size_t hi = n - lo;  // exclusive
+  if (hi <= lo) return std::max<size_t>(1, col.dict.size());
+  size_t distinct = 1;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    if (s[i] != s[i - 1]) ++distinct;
+  }
+  const double scaled = static_cast<double>(distinct) / (1.0 - 2.0 * frac);
+  const size_t est = static_cast<size_t>(scaled + 0.5);
+  return std::min(col.dict.size(), std::max<size_t>(1, est));
+}
+
 size_t ColumnCache::EnsureBuilt(const std::vector<size_t>& cols) {
   for (size_t c : cols) (void)column(c);
   return table_->num_rows();

@@ -109,6 +109,54 @@ class ColumnCache {
   /// Content generation of column `c` (ensures freshness first).
   uint64_t generation(size_t c) { return column(c).generation; }
 
+  /// Distinct-value count of column `c` (dictionary size; ensures
+  /// freshness first). Counts tombstoned rows' values too — an upper
+  /// bound, which is what the cardinality estimator wants.
+  size_t distinct_count(size_t c) { return column(c).dict.size(); }
+
+  /// Min/max of column `c` over the numeric projection. Only meaningful
+  /// when every value is numeric and non-null (otherwise the hash
+  /// coordinate of a string/null would pollute the range); returns false
+  /// in that case and for empty columns.
+  bool NumericMinMax(size_t c, double* min_out, double* max_out) {
+    const Column& col = column(c);
+    if (!col.numeric_only || col.has_nulls || col.sorted_num.empty()) {
+      return false;
+    }
+    *min_out = col.sorted_num.front();
+    *max_out = col.sorted_num.back();
+    return true;
+  }
+
+  /// Fraction of physical rows whose numeric projection is < v (strict)
+  /// or <= v (inclusive) — exact binary search over the sorted
+  /// projection. A handful of corrupted outliers shifts the answer by
+  /// exactly their own mass, where min/max interpolation would let one
+  /// stray value stretch the assumed-uniform range arbitrarily. Returns
+  /// false for non-numeric / null-bearing / empty columns.
+  bool NumericRankFraction(size_t c, double v, bool inclusive,
+                           double* frac) {
+    const Column& col = column(c);
+    if (!col.numeric_only || col.has_nulls || col.sorted_num.empty()) {
+      return false;
+    }
+    const std::vector<double>& s = col.sorted_num;
+    const auto it = inclusive ? std::upper_bound(s.begin(), s.end(), v)
+                              : std::lower_bound(s.begin(), s.end(), v);
+    *frac = static_cast<double>(it - s.begin()) /
+            static_cast<double>(s.size());
+    return true;
+  }
+
+  /// Outlier-robust distinct count: distinct values between the [frac,
+  /// 1-frac] quantiles of the numeric projection, scaled by 1/(1-2*frac)
+  /// (unbiased under uniform duplication) and clamped to the dictionary
+  /// size. Dirty cells tend to be near-unique junk that inflates the raw
+  /// dictionary — and with it any 1/ndv join-selectivity model —
+  /// while the central mass keeps the keys that actually join. Falls
+  /// back to the dictionary size for non-numeric columns.
+  size_t TrimmedDistinctCount(size_t c, double frac);
+
   /// Batch-scan entry point: (re)builds the projections of every column in
   /// `cols` in one call and returns the table's row count. Plan operators
   /// call this once at Open so the per-batch hot loop reads fresh arrays

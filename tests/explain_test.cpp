@@ -1,9 +1,14 @@
 // EXPLAIN golden tests: the plan text is part of the engine's contract.
 // Pins the deterministic tree for an SP query, an SPJ query, and
 // cleaning-augmented plans where statistics pruning drops a provably-clean
-// rule's cleanσ node.
+// rule's cleanσ node; with the cost-based optimizer on, also pins the
+// chosen join order, per-node estimates, predicate pushdown below the
+// reordered join tree, and cleanσ deferral above a selective join.
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "clean/daisy_engine.h"
 #include "plan/planner.h"
@@ -11,6 +16,16 @@
 
 namespace daisy {
 namespace {
+
+// Bare-planner consumers (QueryExecutor) default the optimizer from the
+// ablation env (see Planner's constructor); these goldens pin both shapes
+// so the CI ablation leg (DAISY_OPTIMIZER=0) stays green.
+bool OptimizerEnvOn() {
+  const char* v = std::getenv("DAISY_OPTIMIZER");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "0" || s == "false");
+}
 
 Database MakeEmpDeptDb() {
   Database db;
@@ -47,12 +62,83 @@ TEST(ExplainTest, SelectProjectJoinGolden) {
                       "SELECT emp.name, dept.dept_name FROM emp, dept WHERE "
                       "emp.dept_id = dept.id AND dept.dept_name = 'eng'")
                   .ValueOrDie();
-  EXPECT_EQ(text,
-            "Project [emp.name, dept.dept_name]\n"
-            "  HashJoin [emp.dept_id = dept.id]\n"
-            "    Scan [emp]\n"
-            "    Filter [dept: dept.dept_name == 'eng'] [columnar]\n"
-            "      Scan [dept]\n");
+  if (OptimizerEnvOn()) {
+    // dpsize keeps the FROM order here (two tables, one split) but prices
+    // the hash build side — the filtered dept chain — and annotates every
+    // node with its estimates.
+    EXPECT_EQ(text,
+              "Project [emp.name, dept.dept_name]\n"
+              "  HashJoin [emp.dept_id = dept.id] [build=right]"
+              " est_rows=2 est_cost=10\n"
+              "    Scan [emp] est_rows=3 est_cost=3\n"
+              "    Filter [dept: dept.dept_name == 'eng'] [columnar]"
+              " est_rows=1 est_cost=2\n"
+              "      Scan [dept] est_rows=2 est_cost=2\n");
+  } else {
+    EXPECT_EQ(text,
+              "Project [emp.name, dept.dept_name]\n"
+              "  HashJoin [emp.dept_id = dept.id]\n"
+              "    Scan [emp]\n"
+              "    Filter [dept: dept.dept_name == 'eng'] [columnar]\n"
+              "      Scan [dept]\n");
+  }
+}
+
+TEST(ExplainTest, OptimizerReordersJoinAndPushesFilterDownGolden) {
+  // ta is big, tb joins tc, and tc's filter is highly selective: the DP
+  // picks ta ⋈ (tb ⋈ tc) over the naive left-deep (ta ⋈ tb) ⋈ tc, and the
+  // tc filter stays pushed below the lowest join of the reordered tree.
+  Database db;
+  Table ta("ta", Schema({{"x", ValueType::kInt}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ta.AppendRow({Value(i % 50)}).ok());
+  }
+  ASSERT_TRUE(db.AddTable(std::move(ta)).ok());
+  Table tb("tb", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tb.AppendRow({Value(i), Value(i)}).ok());
+  }
+  ASSERT_TRUE(db.AddTable(std::move(tb)).ok());
+  Table tc("tc", Schema({{"y", ValueType::kInt}, {"tag", ValueType::kString}}));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        tc.AppendRow({Value(i), Value(i == 7 ? "hit" : "t" + std::to_string(i))})
+            .ok());
+  }
+  ASSERT_TRUE(db.AddTable(std::move(tc)).ok());
+
+  QueryExecutor exec(&db);
+  auto text = exec.Explain(
+                      "SELECT ta.x, tc.y FROM ta, tb, tc WHERE "
+                      "ta.x = tb.x AND tb.y = tc.y AND tc.tag = 'hit'")
+                  .ValueOrDie();
+  if (OptimizerEnvOn()) {
+    EXPECT_EQ(text,
+              "Project [ta.x, tc.y]\n"
+              "  HashJoin [ta.x = tb.x] [build=right] est_rows=2"
+              " est_cost=306\n"
+              "    Scan [ta] est_rows=100 est_cost=100\n"
+              "    HashJoin [tb.y = tc.y] [build=right] est_rows=1"
+              " est_cost=103\n"
+              "      Scan [tb] est_rows=50 est_cost=50\n"
+              "      Filter [tc: tc.tag == 'hit'] [columnar] est_rows=1"
+              " est_cost=50\n"
+              "        Scan [tc] est_rows=50 est_cost=50\n");
+  } else {
+    EXPECT_EQ(text,
+              "Project [ta.x, tc.y]\n"
+              "  HashJoin [ta.x = tb.x, tb.y = tc.y]\n"
+              "    Scan [ta]\n"
+              "    Scan [tb]\n"
+              "    Filter [tc: tc.tag == 'hit'] [columnar]\n"
+              "      Scan [tc]\n");
+  }
+  // Same bytes either way: the optimized tree canonically sorts its root.
+  auto on = exec.Execute(
+                    "SELECT ta.x, tc.y FROM ta, tb, tc WHERE "
+                    "ta.x = tb.x AND tb.y = tc.y AND tc.tag = 'hit'")
+                .ValueOrDie();
+  EXPECT_EQ(on.result.num_rows(), 2u);
 }
 
 TEST(ExplainTest, AggregateGolden) {
@@ -192,12 +278,88 @@ TEST(ExplainTest, CleanJoinGolden) {
                         "SELECT emp.name, dept.dept_name FROM emp, dept "
                         "WHERE emp.dept_id = dept.id")
                   .ValueOrDie();
-  EXPECT_EQ(text,
-            "Project [emp.name, dept.dept_name]\n"
-            "  CleanJoin [emp.dept_id = dept.id]\n"
-            "    CleanSelect [rule=rho fd] [adaptive]\n"
-            "      Scan [emp]\n"
-            "    Scan [dept]\n");
+  if (engine.options().optimizer) {
+    // rho involves the join key (dept_id), so deferral is barred and the
+    // cleanσ stays in the chain below the join.
+    EXPECT_EQ(text,
+              "Project [emp.name, dept.dept_name]\n"
+              "  CleanJoin [emp.dept_id = dept.id] [build=right]"
+              " est_rows=3 est_cost=13\n"
+              "    CleanSelect [rule=rho fd] [adaptive]"
+              " est_rows=3 est_cost=9\n"
+              "      Scan [emp] est_rows=3 est_cost=3\n"
+              "    Scan [dept] est_rows=2 est_cost=2\n");
+  } else {
+    EXPECT_EQ(text,
+              "Project [emp.name, dept.dept_name]\n"
+              "  CleanJoin [emp.dept_id = dept.id]\n"
+              "    CleanSelect [rule=rho fd] [adaptive]\n"
+              "      Scan [emp]\n"
+              "    Scan [dept]\n");
+  }
+}
+
+TEST(ExplainTest, OptimizerDefersCleaningAboveSelectiveJoinGolden) {
+  // tau (name -> salary) touches neither emp's join key nor any filter or
+  // sibling-rule column, and the dept filter makes the join selective: the
+  // cost model moves tau's cleanσ above the join, where it cleans only the
+  // distinct rows emp contributes to the join survivors.
+  Database db;
+  Table emp("emp", Schema({{"name", ValueType::kString},
+                           {"dept_id", ValueType::kInt},
+                           {"salary", ValueType::kDouble}}));
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(emp.AppendRow({Value(i < 2 ? "dup" : "e" + std::to_string(i)),
+                               Value(i % 6),
+                               Value(100.0 * (i + 1))})
+                    .ok());
+  }
+  ASSERT_TRUE(db.AddTable(std::move(emp)).ok());
+  Table dept("dept", Schema({{"id", ValueType::kInt},
+                             {"dept_name", ValueType::kString}}));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        dept.AppendRow({Value(i), Value(i == 0 ? "eng" : "d" + std::to_string(i))})
+            .ok());
+  }
+  ASSERT_TRUE(db.AddTable(std::move(dept)).ok());
+  ConstraintSet rules;
+  ASSERT_TRUE(rules
+                  .AddFromText("tau: FD name -> salary", "emp",
+                               db.GetTable("emp").ValueOrDie()->schema())
+                  .ok());
+  DaisyEngine engine(&db, std::move(rules), DaisyOptions{});
+  ASSERT_TRUE(engine.Prepare().ok());
+  const std::string sql =
+      "SELECT emp.name, emp.salary, dept.dept_name FROM emp, dept "
+      "WHERE emp.dept_id = dept.id AND dept.dept_name = 'eng'";
+  auto text = engine.Explain(sql).ValueOrDie();
+  if (engine.options().optimizer) {
+    const size_t deferred_pos =
+        text.find("CleanSelect [rule=tau fd] [adaptive] [deferred]");
+    const size_t join_pos = text.find("CleanJoin [emp.dept_id = dept.id]");
+    ASSERT_NE(deferred_pos, std::string::npos) << text;
+    ASSERT_NE(join_pos, std::string::npos) << text;
+    // Deferred cleanσ sits above the join in the rendered tree.
+    EXPECT_LT(deferred_pos, join_pos) << text;
+    EXPECT_NE(text.find("est_rows="), std::string::npos) << text;
+  } else {
+    const size_t chain_pos = text.find("CleanSelect [rule=tau fd] [adaptive]");
+    const size_t join_pos = text.find("CleanJoin [emp.dept_id = dept.id]");
+    ASSERT_NE(chain_pos, std::string::npos) << text;
+    ASSERT_NE(join_pos, std::string::npos) << text;
+    EXPECT_GT(chain_pos, join_pos) << text;
+    EXPECT_EQ(text.find("[deferred]"), std::string::npos) << text;
+  }
+  // The deferred placement is output-exact and still repairs the dirty
+  // group it touches.
+  auto report = engine.Query(sql).ValueOrDie();
+  EXPECT_EQ(report.rules_applied, 1u);
+  if (engine.options().optimizer) {
+    EXPECT_EQ(report.rules_deferred, 1u);
+  } else {
+    EXPECT_EQ(report.rules_deferred, 0u);
+  }
 }
 
 TEST(ExplainTest, StaticallyPrunedRuleStillAccumulatesCoverage) {

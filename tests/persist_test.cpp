@@ -565,6 +565,7 @@ TEST(EnginePersistence, SemanticsOptionsAreAdoptedFromSnapshot) {
   custom.accuracy_threshold = 0.25;
   custom.theta_partitions = 7;
   custom.use_statistics_pruning = false;
+  custom.optimizer = false;
   DaisyEngine engine(&db, EmpRules(), custom);
   ASSERT_TRUE(engine.Prepare().ok());
   ASSERT_TRUE(engine.EnablePersistence(dir.Sub("state")).ok());
@@ -578,6 +579,7 @@ TEST(EnginePersistence, SemanticsOptionsAreAdoptedFromSnapshot) {
   EXPECT_EQ(recovered->options().accuracy_threshold, 0.25);
   EXPECT_EQ(recovered->options().theta_partitions, 7u);
   EXPECT_FALSE(recovered->options().use_statistics_pruning);
+  EXPECT_FALSE(recovered->options().optimizer);
 
   Database ref_db;
   ASSERT_TRUE(ref_db.AddTable(SeedEmpTable()).ok());
@@ -591,8 +593,10 @@ TEST(EnginePersistence, SemanticsOptionsAreAdoptedFromSnapshot) {
 
 // The fixture pins on-disk format v1: these files were produced by the
 // generator below (DAISY_REGEN_GOLDEN=1) and must keep loading — and
-// keep meaning the same engine state — for as long as kSnapshotVersion
-// stays 1. A failure here means the format changed without a version bump.
+// keep meaning the same engine state — for as long as v1 stays inside
+// [kMinSnapshotVersion, kSnapshotVersion]. A v1 snapshot predates the
+// optimizer flag, so it loads with optimizer = true (the engine default).
+// A failure here means a payload encoding changed without a version bump.
 TEST(GoldenV1, FixtureKeepsLoading) {
   const std::string fixture = std::string(DAISY_TESTDATA_DIR) + "/golden_v1";
   if (const char* regen = std::getenv("DAISY_REGEN_GOLDEN");
