@@ -21,8 +21,16 @@ unless named in --gate, so a machine-speed difference between the
 baseline host and CI cannot fail the diff through a derived ratio twice;
 deterministic work counters (e.g. pairs checked) are good --gate
 candidates precisely because they are machine-independent. A baseline
-result missing from the current run fails; a new result in the current
-run is reported and passes (refresh the baseline to start gating it).
+result missing from the current run fails, as does a baseline counter
+missing from the current run (reported as "counter missing from current
+run", never a traceback); a new result in the current run is reported
+and passes (refresh the baseline to start gating it).
+
+Zero baselines are legitimate (e.g. detect_ops=0 on a warm-recovery
+leg): base == 0 and cur == 0 passes with ratio 1.0, and base == 0 with
+cur > 0 is reported as a "new metric" informational line, not a gated
+regression — a zero baseline can never fail the diff through an
+infinite ratio.
 
 Exit status: 0 = no regression, 1 = regression or shape error.
 """
@@ -42,6 +50,8 @@ def load(path):
         sys.exit(f"bench_diff: {path} is not a BenchJsonWriter file")
     by_name = {}
     for result in doc["results"]:
+        if not isinstance(result, dict) or "name" not in result:
+            sys.exit(f"bench_diff: {path} has a result without a name")
         by_name[result["name"]] = result
     return doc.get("bench", "?"), by_name
 
@@ -94,17 +104,38 @@ def main():
             continue
         for metric, base_value, gates in metrics_of(base_result, selected,
                                                     gated):
+            cur_counters = cur_result.get("counters")
+            if not isinstance(cur_counters, dict):
+                cur_counters = {}
             cur_value = None
             if metric == "wall_ms":
                 cur_value = float(cur_result.get("wall_ms", 0.0))
-            elif metric in cur_result.get("counters", {}):
-                cur_value = float(cur_result["counters"][metric])
+            elif metric in cur_counters:
+                try:
+                    cur_value = float(cur_counters[metric])
+                except (TypeError, ValueError):
+                    cur_value = None
             if cur_value is None:
-                regressions.append(f"{name}/{metric}: missing from current")
+                regressions.append(
+                    f"{name}/{metric}: counter missing from current run")
+                print(f"{name:<24} {metric:<20} {base_value:>12.3f} "
+                      f"{'-':>12} {'-':>8}  MISSING")
                 continue
-            ratio = cur_value / base_value if base_value > 0 else float("inf")
-            bad = gates and base_value > 0 and \
-                cur_value > base_value * (1.0 + args.threshold)
+            if base_value == 0.0:
+                # A zero baseline is legitimate (e.g. detect_ops=0 on a
+                # warm-recovery leg); it never gates. 0 -> 0 is a clean
+                # pass, 0 -> nonzero means the metric newly appeared.
+                if cur_value == 0.0:
+                    print(f"{name:<24} {metric:<20} {base_value:>12.3f} "
+                          f"{cur_value:>12.3f} {1.0:>7.2f}x  "
+                          f"{'time' if gates else 'info'}")
+                else:
+                    print(f"{name:<24} {metric:<20} {base_value:>12.3f} "
+                          f"{cur_value:>12.3f} {'new':>8}  info "
+                          f"(new metric, not gated)")
+                continue
+            ratio = cur_value / base_value
+            bad = gates and cur_value > base_value * (1.0 + args.threshold)
             print(f"{name:<24} {metric:<20} {base_value:>12.3f} "
                   f"{cur_value:>12.3f} {ratio:>7.2f}x  "
                   f"{'FAIL' if bad else ('time' if gates else 'info')}")

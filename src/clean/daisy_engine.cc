@@ -1,6 +1,7 @@
 #include "clean/daisy_engine.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -13,30 +14,61 @@
 
 namespace daisy {
 
+namespace {
+
+// A malformed override must not be silently dropped (strtol parses
+// "banana" to 0, which the old `n > 0` guard swallowed) — warn loudly,
+// naming the variable and the bad value, and keep the previous setting.
+void WarnBadOverride(const char* var, const char* value,
+                     const char* expected) {
+  std::fprintf(stderr,
+               "[daisy] warning: ignoring malformed %s=\"%s\" (expected %s)\n",
+               var, value, expected);
+}
+
+// Applies `var` to `*flag` iff it holds exactly "0"/"false"/"1"/"true".
+// Returns true when the variable was set (well-formed or not).
+bool ApplyBoolEnv(const char* var, bool* flag) {
+  const char* v = std::getenv(var);
+  if (v == nullptr) return false;
+  const std::string s(v);
+  if (s == "0" || s == "false") {
+    *flag = false;
+  } else if (s == "1" || s == "true") {
+    *flag = true;
+  } else {
+    WarnBadOverride(var, v, "\"0\", \"1\", \"false\", or \"true\"");
+  }
+  return true;
+}
+
+// Applies `var` to `*count` iff it parses fully as a positive integer:
+// no leading junk, no trailing junk, no "-4", no "0", no overflow.
+bool ApplyThreadCountEnv(const char* var, size_t* count) {
+  const char* v = std::getenv(var);
+  if (v == nullptr) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || n <= 0) {
+    WarnBadOverride(var, v, "a positive integer");
+  } else {
+    *count = static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
 void ApplyEnvOverrides(DaisyOptions* options) {
   bool fired = false;
-  if (const char* v = std::getenv("DAISY_COLUMNAR_FILTERS")) {
-    const std::string s(v);
-    if (s == "0" || s == "false") options->columnar_filters = false;
-    if (s == "1" || s == "true") options->columnar_filters = true;
-    fired = true;
-  }
-  if (const char* v = std::getenv("DAISY_OPTIMIZER")) {
-    const std::string s(v);
-    if (s == "0" || s == "false") options->optimizer = false;
-    if (s == "1" || s == "true") options->optimizer = true;
-    fired = true;
-  }
-  if (const char* v = std::getenv("DAISY_DETECT_THREADS")) {
-    const long n = std::strtol(v, nullptr, 10);
-    if (n > 0) options->detect_threads = static_cast<size_t>(n);
-    fired = true;
-  }
-  if (const char* v = std::getenv("DAISY_QUERY_THREADS")) {
-    const long n = std::strtol(v, nullptr, 10);
-    if (n > 0) options->query_threads = static_cast<size_t>(n);
-    fired = true;
-  }
+  fired |= ApplyBoolEnv("DAISY_COLUMNAR_FILTERS", &options->columnar_filters);
+  fired |= ApplyBoolEnv("DAISY_OPTIMIZER", &options->optimizer);
+  fired |= ApplyBoolEnv("DAISY_GROUP_COMMIT", &options->group_commit);
+  fired |= ApplyThreadCountEnv("DAISY_DETECT_THREADS",
+                               &options->detect_threads);
+  fired |= ApplyThreadCountEnv("DAISY_QUERY_THREADS",
+                               &options->query_threads);
   // The override silently replacing explicitly passed options would be a
   // debugging trap outside CI (e.g. vars left exported from reproducing
   // the ablation leg locally) — announce it once per process.
@@ -44,8 +76,9 @@ void ApplyEnvOverrides(DaisyOptions* options) {
     static const bool announced = [] {
       std::fprintf(stderr,
                    "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_OPTIMIZER/"
-                   "DAISY_DETECT_THREADS/DAISY_QUERY_THREADS set: overriding "
-                   "DaisyOptions (CI ablation hook)\n");
+                   "DAISY_GROUP_COMMIT/DAISY_DETECT_THREADS/"
+                   "DAISY_QUERY_THREADS set: overriding DaisyOptions "
+                   "(CI ablation hook)\n");
       return true;
     }();
     (void)announced;
@@ -136,6 +169,22 @@ EngineHealthInfo DaisyEngine::Health() const {
     }
   }
   return info;
+}
+
+std::vector<DaisyEngine::TableSummary> DaisyEngine::TableSummaries() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  std::vector<TableSummary> out;
+  for (const std::string& name : db_->TableNames()) {
+    Result<const Table*> table =
+        static_cast<const Database*>(db_)->GetTable(name);
+    if (!table.ok()) continue;
+    TableSummary summary;
+    summary.name = name;
+    summary.live_rows = table.value()->num_live_rows();
+    summary.schema = table.value()->schema();
+    out.push_back(std::move(summary));
+  }
+  return out;
 }
 
 Status DaisyEngine::Prepare() {
@@ -302,35 +351,42 @@ Result<QueryReport> DaisyEngine::QueryWithLimits(const SelectStmt& stmt,
   // made the plan quiescent meanwhile, the query is semantically a read:
   // it mutates nothing and consumes no writer slot, keeping the epoch
   // order reproducible by a serial replay.
-  std::unique_lock<std::shared_mutex> lock(*mu_);
-  if (health_ == EngineHealth::kFailed) {
-    return Status::Internal("engine failed (unrecoverable): " +
-                            health_cause_.ToString());
+  persist::GroupCommitQueue::TicketPtr ticket;
+  Result<QueryReport> report = Status::Internal("unset");
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (health_ == EngineHealth::kFailed) {
+      return Status::Internal("engine failed (unrecoverable): " +
+                              health_cause_.ToString());
+    }
+    DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+    plan.set_limits(limits);
+    if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
+      return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
+    }
+    DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+    const uint64_t slot = ++epoch_;
+    report = ExecutePlanLocked(&plan, /*read_path=*/false, slot);
+    RefreshDerivedState();
+    // A writer query mutated cleaning state (repairs, coverage, cost
+    // ledger): make it durable before acknowledging. Read-path queries are
+    // deliberately never logged — they have no state to replay. A cut
+    // query (timeout/cancel) is not logged either: its cleaning stopped at
+    // a rule boundary — a valid monotone prefix whose effects are volatile
+    // by contract and converge again on the next touching query; logging
+    // the statement would make the replay clean MORE than this execution
+    // did.
+    const bool cut =
+        report.ok() &&
+        (report.value().termination == QueryTermination::kTimeout ||
+         report.value().termination == QueryTermination::kCancelled);
+    if (report.ok() && !cut && wal_ != nullptr && !wal_replay_) {
+      DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(persist::EncodeWalQuery(stmt)));
+    }
   }
-  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
-  plan.set_limits(limits);
-  if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
-    return ExecutePlanLocked(&plan, /*read_path=*/true, epoch_);
-  }
-  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
-  const uint64_t slot = ++epoch_;
-  Result<QueryReport> report =
-      ExecutePlanLocked(&plan, /*read_path=*/false, slot);
-  RefreshDerivedState();
-  // A writer query mutated cleaning state (repairs, coverage, cost
-  // ledger): make it durable before acknowledging. Read-path queries are
-  // deliberately never logged — they have no state to replay. A cut query
-  // (timeout/cancel) is not logged either: its cleaning stopped at a rule
-  // boundary — a valid monotone prefix whose effects are volatile by
-  // contract and converge again on the next touching query; logging the
-  // statement would make the replay clean MORE than this execution did.
-  const bool cut =
-      report.ok() &&
-      (report.value().termination == QueryTermination::kTimeout ||
-       report.value().termination == QueryTermination::kCancelled);
-  if (report.ok() && !cut && wal_ != nullptr && !wal_replay_) {
-    DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalQuery(stmt)));
-  }
+  // Ack only after durability; the lock is released so concurrent writer
+  // ops can queue into the same batch and share the fsync.
+  DAISY_RETURN_IF_ERROR(AwaitWalTicket(ticket));
   return report;
 }
 
@@ -365,81 +421,101 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
       }
     }
   }
-  std::unique_lock<std::shared_mutex> lock(*mu_);
-  if (health_ == EngineHealth::kFailed) {
-    return Status::Internal("engine failed (unrecoverable): " +
-                            health_cause_.ToString());
+  persist::GroupCommitQueue::TicketPtr ticket;
+  Result<std::string> rendered = Status::Internal("unset");
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (health_ == EngineHealth::kFailed) {
+      return Status::Internal("engine failed (unrecoverable): " +
+                              health_cause_.ToString());
+    }
+    DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
+    plan.set_limits(limits);
+    if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
+      DAISY_RETURN_IF_ERROR(
+          ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
+      return plan.Explain();
+    }
+    DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+    const uint64_t slot = ++epoch_;
+    Result<QueryReport> report =
+        ExecutePlanLocked(&plan, /*read_path=*/false, slot);
+    RefreshDerivedState();
+    DAISY_RETURN_IF_ERROR(report.status());
+    // Same cleaning side effects as a writer Query — replayed as one (the
+    // analyze rendering is a pure read on top). Cut executions stay
+    // volatile, exactly like Query().
+    const bool cut =
+        report.value().termination == QueryTermination::kTimeout ||
+        report.value().termination == QueryTermination::kCancelled;
+    if (!cut && wal_ != nullptr && !wal_replay_) {
+      DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(persist::EncodeWalQuery(stmt)));
+    }
+    rendered = plan.Explain();
   }
-  DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
-  plan.set_limits(limits);
-  if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
-    DAISY_RETURN_IF_ERROR(
-        ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
-    return plan.Explain();
-  }
-  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
-  const uint64_t slot = ++epoch_;
-  Result<QueryReport> report =
-      ExecutePlanLocked(&plan, /*read_path=*/false, slot);
-  RefreshDerivedState();
-  DAISY_RETURN_IF_ERROR(report.status());
-  // Same cleaning side effects as a writer Query — replayed as one (the
-  // analyze rendering is a pure read on top). Cut executions stay
-  // volatile, exactly like Query().
-  const bool cut =
-      report.value().termination == QueryTermination::kTimeout ||
-      report.value().termination == QueryTermination::kCancelled;
-  if (!cut && wal_ != nullptr && !wal_replay_) {
-    DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalQuery(stmt)));
-  }
-  return plan.Explain();
+  DAISY_RETURN_IF_ERROR(AwaitWalTicket(ticket));
+  return rendered;
 }
 
 Result<TableDelta> DaisyEngine::AppendRows(
     const std::string& table, std::vector<std::vector<Value>> rows) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
-  if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
-  DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  // Encoded before the move empties `rows`; appended only after the batch
-  // committed (a rejected batch must not replay).
-  std::string wal_payload;
-  if (wal_ != nullptr && !wal_replay_) {
-    wal_payload = persist::EncodeWalAppendRows(table, rows);
+  persist::GroupCommitQueue::TicketPtr ticket;
+  TableDelta delta;
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (!prepared_) return Status::Internal("Prepare() must be called first");
+    DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+    DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+    // Encoded before the move empties `rows`; appended only after the
+    // batch committed (a rejected batch must not replay).
+    std::string wal_payload;
+    if (wal_ != nullptr && !wal_replay_) {
+      wal_payload = persist::EncodeWalAppendRows(table, rows);
+    }
+    DAISY_ASSIGN_OR_RETURN(delta, t->AppendRows(std::move(rows)));
+    if (Status applied = ApplyDeltaToRules(table, delta); !applied.ok()) {
+      // The table took the batch but the rule state did not: memory no
+      // longer matches any replayable operation history — terminal.
+      TransitionLocked(EngineHealth::kFailed, applied);
+      return applied;
+    }
+    delta.engine_epoch = ++epoch_;
+    RefreshDerivedState();
+    if (!wal_payload.empty()) {
+      DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(wal_payload));
+    }
   }
-  DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->AppendRows(std::move(rows)));
-  if (Status applied = ApplyDeltaToRules(table, delta); !applied.ok()) {
-    // The table took the batch but the rule state did not: memory no
-    // longer matches any replayable operation history — terminal.
-    TransitionLocked(EngineHealth::kFailed, applied);
-    return applied;
-  }
-  delta.engine_epoch = ++epoch_;
-  RefreshDerivedState();
-  if (!wal_payload.empty()) DAISY_RETURN_IF_ERROR(LogWal(wal_payload));
+  DAISY_RETURN_IF_ERROR(AwaitWalTicket(ticket));
   return delta;
 }
 
 Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
                                            std::vector<RowId> ids) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
-  if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
-  DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  std::string wal_payload;
-  if (wal_ != nullptr && !wal_replay_) {
-    wal_payload = persist::EncodeWalDeleteRows(table, ids);
+  persist::GroupCommitQueue::TicketPtr ticket;
+  TableDelta delta;
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (!prepared_) return Status::Internal("Prepare() must be called first");
+    DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+    DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+    std::string wal_payload;
+    if (wal_ != nullptr && !wal_replay_) {
+      wal_payload = persist::EncodeWalDeleteRows(table, ids);
+    }
+    DAISY_ASSIGN_OR_RETURN(delta, t->DeleteRows(std::move(ids)));
+    if (Status applied = ApplyDeltaToRules(table, delta); !applied.ok()) {
+      // Same torn-state rule as AppendRows: tombstones landed but the
+      // rule state did not absorb them.
+      TransitionLocked(EngineHealth::kFailed, applied);
+      return applied;
+    }
+    delta.engine_epoch = ++epoch_;
+    RefreshDerivedState();
+    if (!wal_payload.empty()) {
+      DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(wal_payload));
+    }
   }
-  DAISY_ASSIGN_OR_RETURN(TableDelta delta, t->DeleteRows(std::move(ids)));
-  if (Status applied = ApplyDeltaToRules(table, delta); !applied.ok()) {
-    // Same torn-state rule as AppendRows: tombstones landed but the rule
-    // state did not absorb them.
-    TransitionLocked(EngineHealth::kFailed, applied);
-    return applied;
-  }
-  delta.engine_epoch = ++epoch_;
-  RefreshDerivedState();
-  if (!wal_payload.empty()) DAISY_RETURN_IF_ERROR(LogWal(wal_payload));
+  DAISY_RETURN_IF_ERROR(AwaitWalTicket(ticket));
   return delta;
 }
 
@@ -487,36 +563,44 @@ Status DaisyEngine::ApplyDeltaToRules(const std::string& table_name,
 }
 
 Status DaisyEngine::CleanAllRemaining() {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
-  if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
-  const CleaningOptions clean_opts = MakeCleaningOptions();
-  for (auto& [name, state] : rules_) {
-    if (state.op->fully_checked()) continue;
-    DAISY_ASSIGN_OR_RETURN(CleanSelectResult res,
-                           state.op->CleanRemaining(clean_opts));
-    (void)res;
+  persist::GroupCommitQueue::TicketPtr ticket;
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (!prepared_) return Status::Internal("Prepare() must be called first");
+    DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+    const CleaningOptions clean_opts = MakeCleaningOptions();
+    for (auto& [name, state] : rules_) {
+      if (state.op->fully_checked()) continue;
+      DAISY_ASSIGN_OR_RETURN(CleanSelectResult res,
+                             state.op->CleanRemaining(clean_opts));
+      (void)res;
+    }
+    ++epoch_;
+    RefreshDerivedState();
+    DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(persist::EncodeWalCleanAll()));
   }
-  ++epoch_;
-  RefreshDerivedState();
-  DAISY_RETURN_IF_ERROR(LogWal(persist::EncodeWalCleanAll()));
-  return Status::OK();
+  return AwaitWalTicket(ticket);
 }
 
 Status DaisyEngine::ImportProvenance(const std::string& table,
                                      const ProvenanceStore& store) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
-  if (!prepared_) return Status::Internal("Prepare() must be called first");
-  DAISY_RETURN_IF_ERROR(CheckWritableLocked());
-  DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  provenance_[table].MergeFrom(store, t);
-  ++epoch_;
-  RefreshDerivedState();
-  if (wal_ != nullptr && !wal_replay_) {
-    DAISY_RETURN_IF_ERROR(
-        LogWal(persist::EncodeWalImportProvenance(table, store.records())));
+  persist::GroupCommitQueue::TicketPtr ticket;
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (!prepared_) return Status::Internal("Prepare() must be called first");
+    DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+    DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+    provenance_[table].MergeFrom(store, t);
+    ++epoch_;
+    RefreshDerivedState();
+    if (wal_ != nullptr && !wal_replay_) {
+      DAISY_ASSIGN_OR_RETURN(
+          ticket,
+          LogWalLocked(persist::EncodeWalImportProvenance(table,
+                                                          store.records())));
+    }
   }
-  return Status::OK();
+  return AwaitWalTicket(ticket);
 }
 
 Result<bool> DaisyEngine::RuleFullyChecked(const std::string& rule) const {

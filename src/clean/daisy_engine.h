@@ -30,6 +30,7 @@
 #include "clean/statistics.h"
 #include "constraints/constraint_set.h"
 #include "detect/fd_delta.h"
+#include "persist/group_commit.h"
 #include "plan/planner.h"
 #include "query/executor.h"
 #include "storage/database.h"
@@ -38,7 +39,6 @@ namespace daisy {
 
 namespace persist {
 class Env;
-class WalWriter;
 struct EngineSnapshot;
 }  // namespace persist
 
@@ -72,6 +72,12 @@ struct DaisyOptions {
   /// Morsel workers for a single query's Scan+Filter chains (1 = serial).
   /// Results are deterministic for any value.
   size_t query_threads = 1;
+  /// Group commit: batch concurrently-arriving writer ops' WAL records
+  /// into a single frame write + one fsync, acking each op only after the
+  /// shared sync returns. Off = one write()+Sync() per writer op. Replay
+  /// semantics are identical either way (record order still equals epoch
+  /// order); the flag only changes durability batching.
+  bool group_commit = true;
   /// TryRecover() backoff: first retry is admitted `recover_backoff_ms`
   /// after a failed attempt, doubling per failure up to the cap. The first
   /// attempt after entering degraded mode is always admitted.
@@ -80,11 +86,14 @@ struct DaisyOptions {
 };
 
 /// CI ablation hooks: when the environment variables DAISY_COLUMNAR_FILTERS
-/// ("0"/"1"), DAISY_OPTIMIZER ("0"/"1"), DAISY_DETECT_THREADS, or
-/// DAISY_QUERY_THREADS (positive integers) are set, they override the
-/// corresponding fields so the whole test suite can run with a non-default
-/// configuration (see the ablation leg in .github/workflows). A no-op when
-/// no variable is set. Applied by the DaisyEngine constructor.
+/// ("0"/"1"/"true"/"false"), DAISY_OPTIMIZER (likewise), DAISY_GROUP_COMMIT
+/// (likewise), DAISY_DETECT_THREADS, or DAISY_QUERY_THREADS (positive
+/// integers) are set, they override the corresponding fields so the whole
+/// test suite can run with a non-default configuration (see the ablation leg
+/// in .github/workflows). A no-op when no variable is set. Malformed values
+/// are rejected with a stderr warning naming the variable and the bad value;
+/// the option keeps its previous setting. Applied by the DaisyEngine
+/// constructor.
 void ApplyEnvOverrides(DaisyOptions* options);
 
 /// Engine health state machine (see docs/architecture.md). Transitions are
@@ -321,6 +330,29 @@ class DaisyEngine {
   /// attempt/backoff counters. Thread-safe (takes the shared lock).
   EngineHealthInfo Health() const;
 
+  /// WAL durability counters since the last generation rotation: records
+  /// appended, batches written, fsyncs issued, largest batch. With group
+  /// commit (DaisyOptions::group_commit) concurrent writer ops share
+  /// syncs, so records > syncs under load — the bench plots fsyncs/op
+  /// from this. Zeros while the engine is memory-only. Thread-safe.
+  persist::WalCommitStats WalStats() const;
+
+  /// Test hook: the group-commit queue (null while memory-only or with
+  /// group_commit off). The fault-injection tests use its hold/pending
+  /// hooks to force multi-op batches deterministically.
+  persist::GroupCommitQueue* wal_queue_for_test() { return wal_queue_.get(); }
+
+  /// Catalog snapshot for remote introspection (the daisyd Schema
+  /// request): per-table name, live row count and schema copy, taken
+  /// under the shared lock so it never tears against a concurrent
+  /// writer. Thread-safe.
+  struct TableSummary {
+    std::string name;
+    size_t live_rows = 0;
+    Schema schema;
+  };
+  std::vector<TableSummary> TableSummaries() const;
+
   // Introspection accessors. The lookup itself is locked, but the
   // returned reference/pointer is NOT protected afterwards: concurrent
   // writer operations mutate the pointed-to state (repairs append
@@ -365,10 +397,20 @@ class DaisyEngine {
   // replay which re-enters the public operations.
   Status WriteSnapshotLocked(const std::string& path);
   Status RestoreEngineState(const persist::EngineSnapshot& snap);
-  /// Appends one encoded record to the WAL, if one is attached and this is
-  /// not a replay. Called at the end of a successful writer section. A
-  /// failed append degrades the engine to read-only (see DegradeLocked).
-  Status LogWal(const std::string& payload);
+  /// Queues (group commit) or appends (sync mode) one encoded record, if
+  /// a WAL is attached and this is not a replay. Called at the end of a
+  /// successful writer section, still under the exclusive lock — enqueue
+  /// order is epoch order. Returns a ticket to pass to AwaitWalTicket()
+  /// *after* releasing the lock (null = nothing to await: memory-only,
+  /// replay, or the sync append already returned durable). In sync mode a
+  /// failed append degrades inline, exactly the pre-group-commit path.
+  Result<persist::GroupCommitQueue::TicketPtr> LogWalLocked(
+      const std::string& payload);
+  /// Second half of the commit: waits for the ticket's batch to become
+  /// durable. Must be called without mu_ held (the engine stays available
+  /// to other ops during the shared fsync). A failed batch degrades the
+  /// engine — every op in the batch gets the failure, none is acked.
+  Status AwaitWalTicket(const persist::GroupCommitQueue::TicketPtr& ticket);
   /// Gate checked before any writer mutation: returns kDegraded /
   /// kInternal when the engine is not healthy. After a durability failure
   /// the in-memory state is ahead of the durable log, so no further
@@ -418,6 +460,9 @@ class DaisyEngine {
   std::string persist_dir_;
   uint64_t persist_seq_ = 0;  ///< current (snapshot, wal) generation
   std::unique_ptr<persist::WalWriter> wal_;
+  /// Group-commit queue over wal_ (null while memory-only or when
+  /// options_.group_commit is off). Rotation Flush()es and Reset()s it.
+  std::unique_ptr<persist::GroupCommitQueue> wal_queue_;
   /// File-operation environment for all persistence I/O. Never null once
   /// persistence is attached; points at persist::Env::Default() unless
   /// the caller supplied one (fault injection).

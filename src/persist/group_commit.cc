@@ -1,0 +1,98 @@
+#include "persist/group_commit.h"
+
+namespace daisy {
+namespace persist {
+
+GroupCommitQueue::TicketPtr GroupCommitQueue::Enqueue(std::string payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ticket = std::make_shared<Ticket>();
+  if (!poison_.ok()) {
+    ticket->result = poison_;
+    ticket->done = true;
+    return ticket;
+  }
+  pending_.emplace_back(std::move(payload), ticket);
+  return ticket;
+}
+
+Status GroupCommitQueue::Wait(const TicketPtr& ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (ticket->done) return ticket->result;
+    if (!committing_ && !hold_ && !pending_.empty()) {
+      // Become the leader: take the whole queue (our ticket is in it —
+      // any earlier leader would have completed it) and commit outside
+      // the lock so followers can keep enqueueing the next batch.
+      committing_ = true;
+      auto batch = std::move(pending_);
+      pending_.clear();
+      std::vector<std::string> payloads;
+      payloads.reserve(batch.size());
+      for (auto& entry : batch) payloads.push_back(std::move(entry.first));
+      lk.unlock();
+      const Status committed = writer_->AppendBatch(payloads);
+      lk.lock();
+      if (!committed.ok()) poison_ = committed;
+      for (auto& entry : batch) {
+        entry.second->result = committed;
+        entry.second->done = true;
+      }
+      committing_ = false;
+      cv_.notify_all();
+      continue;  // our own ticket is done now
+    }
+    cv_.wait(lk);
+  }
+}
+
+Status GroupCommitQueue::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (committing_) cv_.wait(lk);
+  if (!pending_.empty()) {
+    // No leader can start (we hold the mutex) and no enqueuer can race
+    // (the caller holds the engine's exclusive lock), so committing
+    // inline while holding the mutex is safe.
+    auto batch = std::move(pending_);
+    pending_.clear();
+    Status committed = poison_;
+    if (committed.ok()) {
+      std::vector<std::string> payloads;
+      payloads.reserve(batch.size());
+      for (auto& entry : batch) payloads.push_back(std::move(entry.first));
+      committed = writer_->AppendBatch(payloads);
+      if (!committed.ok()) poison_ = committed;
+    }
+    for (auto& entry : batch) {
+      entry.second->result = committed;
+      entry.second->done = true;
+    }
+    cv_.notify_all();
+  }
+  return poison_;
+}
+
+void GroupCommitQueue::Reset(WalWriter* writer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  writer_ = writer;
+  poison_ = Status::OK();
+}
+
+WalCommitStats GroupCommitQueue::Stats() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (committing_) cv_.wait(lk);
+  return writer_ != nullptr ? writer_->stats() : WalCommitStats{};
+}
+
+void GroupCommitQueue::TestHoldCommits(bool hold) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hold_ = hold;
+  if (!hold_) cv_.notify_all();
+}
+
+size_t GroupCommitQueue::TestPendingDepth() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+}  // namespace persist
+}  // namespace daisy

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -262,7 +263,10 @@ Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
 
 WalWriter::~WalWriter() = default;
 
-Status WalWriter::Append(const std::string& payload) {
+namespace {
+
+// Frame = u32 payload length + u32 crc + payload (persist/format.h).
+Status AppendFramed(std::string* out, const std::string& payload) {
   if (payload.size() > UINT32_MAX) {
     return Status::IOError("WAL record of " + std::to_string(payload.size()) +
                            " bytes exceeds the u32 frame limit");
@@ -270,10 +274,39 @@ Status WalWriter::Append(const std::string& payload) {
   BinaryWriter frame;
   frame.WriteU32(static_cast<uint32_t>(payload.size()));
   frame.WriteU32(Crc32(payload.data(), payload.size()));
-  std::string bytes = frame.TakeBuffer();
-  bytes.append(payload);
+  out->append(frame.TakeBuffer());
+  out->append(payload);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WalWriter::Append(const std::string& payload) {
+  std::string bytes;
+  DAISY_RETURN_IF_ERROR(AppendFramed(&bytes, payload));
   DAISY_RETURN_IF_ERROR(file_->Append(bytes));
-  return file_->Sync();
+  DAISY_RETURN_IF_ERROR(file_->Sync());
+  stats_.records += 1;
+  stats_.batches += 1;
+  stats_.syncs += 1;
+  stats_.max_batch_records = std::max<uint64_t>(stats_.max_batch_records, 1);
+  return Status::OK();
+}
+
+Status WalWriter::AppendBatch(const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return Status::OK();
+  std::string bytes;
+  for (const std::string& payload : payloads) {
+    DAISY_RETURN_IF_ERROR(AppendFramed(&bytes, payload));
+  }
+  DAISY_RETURN_IF_ERROR(file_->Append(bytes));
+  DAISY_RETURN_IF_ERROR(file_->Sync());
+  stats_.records += payloads.size();
+  stats_.batches += 1;
+  stats_.syncs += 1;
+  stats_.max_batch_records =
+      std::max<uint64_t>(stats_.max_batch_records, payloads.size());
+  return Status::OK();
 }
 
 Result<WalContents> ReadWal(const std::string& path, Env* env) {

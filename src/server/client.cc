@@ -1,0 +1,205 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace daisy {
+namespace server {
+
+Result<std::unique_ptr<DaisyClient>> DaisyClient::ConnectUnix(
+    const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::IOError("connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  std::unique_ptr<DaisyClient> client(new DaisyClient(fd));
+  // ~DaisyClient closes the fd if the handshake fails.
+  DAISY_RETURN_IF_ERROR(client->Handshake());
+  return client;
+}
+
+Result<std::unique_ptr<DaisyClient>> DaisyClient::ConnectTcp(
+    const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::IOError("connect " + host + ":" +
+                                     std::to_string(port) + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  std::unique_ptr<DaisyClient> client(new DaisyClient(fd));
+  // ~DaisyClient closes the fd if the handshake fails.
+  DAISY_RETURN_IF_ERROR(client->Handshake());
+  return client;
+}
+
+DaisyClient::~DaisyClient() {
+  if (fd_ >= 0) {
+    (void)WriteFrame(fd_, EncodeEmpty(MessageType::kBye));
+    ::close(fd_);
+  }
+}
+
+void DaisyClient::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DaisyClient::Handshake() {
+  HelloMsg hello;
+  // An admission bounce can close the connection before our Hello lands
+  // (EPIPE); the server's Error frame is still buffered, so always try to
+  // read the reply and prefer its Status over the write failure.
+  const Status wrote = WriteFrame(fd_, hello.Encode());
+  Result<std::string> read = ReadFrame(fd_);
+  if (!read.ok()) return wrote.ok() ? read.status() : wrote;
+  const std::string reply = std::move(read).value();
+  DAISY_ASSIGN_OR_RETURN(MessageType type, PeekType(reply));
+  if (type == MessageType::kError) {
+    DAISY_ASSIGN_OR_RETURN(ErrorMsg err, ErrorMsg::Decode(reply));
+    return err.ToStatus();
+  }
+  DAISY_ASSIGN_OR_RETURN(HelloAckMsg ack, HelloAckMsg::Decode(reply));
+  if (ack.version != kProtocolVersion) {
+    return Status::InvalidArgument("server speaks protocol v" +
+                                   std::to_string(ack.version));
+  }
+  session_id_ = ack.session_id;
+  banner_ = ack.banner;
+  return Status::OK();
+}
+
+Result<std::string> DaisyClient::RoundTrip(const std::string& request) {
+  if (fd_ < 0) return Status::IOError("client abandoned");
+  DAISY_RETURN_IF_ERROR(WriteFrame(fd_, request));
+  DAISY_ASSIGN_OR_RETURN(std::string reply, ReadFrame(fd_));
+  DAISY_ASSIGN_OR_RETURN(MessageType type, PeekType(reply));
+  if (type == MessageType::kError) {
+    DAISY_ASSIGN_OR_RETURN(ErrorMsg err, ErrorMsg::Decode(reply));
+    return err.ToStatus();
+  }
+  return reply;
+}
+
+Result<DaisyClient::QueryResult> DaisyClient::Query(const std::string& sql,
+                                                    int64_t timeout_ms,
+                                                    uint64_t row_limit) {
+  QueryMsg msg;
+  msg.sql = sql;
+  msg.timeout_ms = timeout_ms;
+  msg.row_limit = row_limit;
+  msg.mode = QueryMode::kRows;
+  DAISY_ASSIGN_OR_RETURN(std::string reply, RoundTrip(msg.Encode()));
+
+  QueryResult result;
+  DAISY_ASSIGN_OR_RETURN(result.header, RowHeaderMsg::Decode(reply));
+  for (;;) {
+    DAISY_ASSIGN_OR_RETURN(std::string frame, ReadFrame(fd_));
+    DAISY_ASSIGN_OR_RETURN(MessageType type, PeekType(frame));
+    if (type == MessageType::kRowBatch) {
+      DAISY_ASSIGN_OR_RETURN(RowBatchMsg batch, RowBatchMsg::Decode(frame));
+      for (std::vector<Value>& row : batch.rows) {
+        result.rows.push_back(std::move(row));
+      }
+      continue;
+    }
+    if (type == MessageType::kQueryDone) {
+      DAISY_ASSIGN_OR_RETURN(result.done, QueryDoneMsg::Decode(frame));
+      return result;
+    }
+    if (type == MessageType::kError) {
+      DAISY_ASSIGN_OR_RETURN(ErrorMsg err, ErrorMsg::Decode(frame));
+      return err.ToStatus();
+    }
+    return Status::Internal(std::string("unexpected frame in row stream: ") +
+                            MessageTypeToString(type));
+  }
+}
+
+Result<std::string> DaisyClient::ExplainAnalyze(const std::string& sql,
+                                                int64_t timeout_ms) {
+  QueryMsg msg;
+  msg.sql = sql;
+  msg.timeout_ms = timeout_ms;
+  msg.mode = QueryMode::kExplainAnalyze;
+  DAISY_ASSIGN_OR_RETURN(std::string reply, RoundTrip(msg.Encode()));
+  DAISY_ASSIGN_OR_RETURN(ExplainTextMsg text, ExplainTextMsg::Decode(reply));
+  return text.text;
+}
+
+Result<uint64_t> DaisyClient::Append(const std::string& table,
+                                     std::vector<std::vector<Value>> rows) {
+  AppendMsg msg;
+  msg.table = table;
+  msg.rows = std::move(rows);
+  DAISY_ASSIGN_OR_RETURN(std::string reply, RoundTrip(msg.Encode()));
+  DAISY_ASSIGN_OR_RETURN(AckMsg ack, AckMsg::Decode(reply));
+  return ack.rows_affected;
+}
+
+Result<uint64_t> DaisyClient::Delete(const std::string& table,
+                                     std::vector<uint64_t> row_ids) {
+  DeleteMsg msg;
+  msg.table = table;
+  msg.row_ids = std::move(row_ids);
+  DAISY_ASSIGN_OR_RETURN(std::string reply, RoundTrip(msg.Encode()));
+  DAISY_ASSIGN_OR_RETURN(AckMsg ack, AckMsg::Decode(reply));
+  return ack.rows_affected;
+}
+
+Status DaisyClient::CleanAll() {
+  DAISY_ASSIGN_OR_RETURN(std::string reply,
+                         RoundTrip(EncodeEmpty(MessageType::kCleanAll)));
+  return AckMsg::Decode(reply).status();
+}
+
+Status DaisyClient::Checkpoint() {
+  DAISY_ASSIGN_OR_RETURN(std::string reply,
+                         RoundTrip(EncodeEmpty(MessageType::kCheckpoint)));
+  return AckMsg::Decode(reply).status();
+}
+
+Result<HealthInfoMsg> DaisyClient::Health() {
+  DAISY_ASSIGN_OR_RETURN(std::string reply,
+                         RoundTrip(EncodeEmpty(MessageType::kHealth)));
+  return HealthInfoMsg::Decode(reply);
+}
+
+Result<SchemaInfoMsg> DaisyClient::Schema() {
+  DAISY_ASSIGN_OR_RETURN(std::string reply,
+                         RoundTrip(EncodeEmpty(MessageType::kSchema)));
+  return SchemaInfoMsg::Decode(reply);
+}
+
+}  // namespace server
+}  // namespace daisy

@@ -1,0 +1,92 @@
+// Blocking client for the daisyd wire protocol, shared by daisy-cli, the
+// server tests, and the multi-process smoke test. One DaisyClient is one
+// connection/session; it is NOT thread-safe — use one client per thread.
+
+#ifndef DAISY_SERVER_CLIENT_H_
+#define DAISY_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "server/wire.h"
+
+namespace daisy {
+namespace server {
+
+class DaisyClient {
+ public:
+  /// A fully collected query result: schema, all streamed rows, and the
+  /// terminal counters frame.
+  struct QueryResult {
+    RowHeaderMsg header;
+    std::vector<std::vector<Value>> rows;
+    QueryDoneMsg done;
+  };
+
+  /// Connect + Hello/HelloAck handshake. Fails with the server's Error
+  /// payload on version mismatch or admission rejection
+  /// (kResourceExhausted when the accept queue is full).
+  static Result<std::unique_ptr<DaisyClient>> ConnectUnix(
+      const std::string& path);
+  static Result<std::unique_ptr<DaisyClient>> ConnectTcp(
+      const std::string& host, int port);
+
+  /// Sends Bye (best effort) and closes.
+  ~DaisyClient();
+
+  DaisyClient(const DaisyClient&) = delete;
+  DaisyClient& operator=(const DaisyClient&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+  const std::string& banner() const { return banner_; }
+
+  /// Executes `sql` with per-query limits (ExecLimits semantics:
+  /// timeout_ms < 0 = unlimited, row_limit 0 = unlimited) and collects
+  /// the streamed result. A timeout/cancel cut is NOT an error here —
+  /// inspect QueryResult::done.termination.
+  Result<QueryResult> Query(const std::string& sql, int64_t timeout_ms = -1,
+                            uint64_t row_limit = 0);
+
+  /// Executes `sql` remotely and returns the rendered analyze tree.
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     int64_t timeout_ms = -1);
+
+  /// Returns the number of rows appended. An ok return means the ingest
+  /// is WAL-durable on the server (group commit acks after fsync).
+  Result<uint64_t> Append(const std::string& table,
+                          std::vector<std::vector<Value>> rows);
+
+  /// Returns the number of rows tombstoned.
+  Result<uint64_t> Delete(const std::string& table,
+                          std::vector<uint64_t> row_ids);
+
+  Status CleanAll();
+  Status Checkpoint();
+  Result<HealthInfoMsg> Health();
+  Result<SchemaInfoMsg> Schema();
+
+  /// Closes the socket without Bye — simulates a client crash so tests
+  /// can exercise cancel-on-disconnect. The client is unusable after.
+  void Abandon();
+
+ private:
+  explicit DaisyClient(int fd) : fd_(fd) {}
+
+  Status Handshake();
+  /// Sends `request` and reads one reply frame, mapping a kError reply to
+  /// its carried Status.
+  Result<std::string> RoundTrip(const std::string& request);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string banner_;
+};
+
+}  // namespace server
+}  // namespace daisy
+
+#endif  // DAISY_SERVER_CLIENT_H_

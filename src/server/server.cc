@@ -1,0 +1,428 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "clean/daisy_engine.h"
+#include "server/wire.h"
+#include "storage/table.h"
+
+namespace daisy {
+namespace server {
+
+namespace {
+
+Status CloseOnError(int fd, Status s) {
+  if (fd >= 0) ::close(fd);
+  return s;
+}
+
+/// Watchdog poll interval. Short enough that an abandoned query is cut
+/// within a couple of plan boundary checks, long enough to stay invisible
+/// in profiles.
+constexpr auto kHangupPollInterval = std::chrono::milliseconds(20);
+
+}  // namespace
+
+DaisyServer::DaisyServer(DaisyEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+DaisyServer::~DaisyServer() { Stop(); }
+
+Status DaisyServer::Start() {
+  if (started_) return Status::Internal("server already started");
+  if (options_.unix_path.empty() && options_.tcp_host.empty()) {
+    return Status::InvalidArgument("no listener configured");
+  }
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return CloseOnError(fd, Status::IOError("bind " + options_.unix_path +
+                                              ": " + std::strerror(errno)));
+    }
+    if (::listen(fd, 128) != 0) {
+      return CloseOnError(
+          fd, Status::IOError(std::string("listen: ") + std::strerror(errno)));
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (!options_.tcp_host.empty()) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad IPv4 listen address: " +
+                                     options_.tcp_host);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return CloseOnError(fd,
+                          Status::IOError("bind " + options_.tcp_host + ":" +
+                                          std::to_string(options_.tcp_port) +
+                                          ": " + std::strerror(errno)));
+    }
+    if (::listen(fd, 128) != 0) {
+      return CloseOnError(
+          fd, Status::IOError(std::string("listen: ") + std::strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+        0) {
+      tcp_port_ = ntohs(bound.sin_port);
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  started_ = true;
+  stopping_.store(false);
+  for (int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  for (size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void DaisyServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+
+  // Unblock accept threads.
+  for (int fd : listen_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  // Unblock serve loops stuck in ReadFrame and flip their watchdogs:
+  // shutdown makes the pending read return 0, and an executing query sees
+  // Session::disconnected at its next boundary check.
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+
+  for (std::thread& t : accept_threads_) t.join();
+  for (std::thread& t : workers_) t.join();
+  accept_threads_.clear();
+  workers_.clear();
+
+  // Connections accepted but never served.
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
+
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  listen_fds_.clear();
+  started_ = false;
+}
+
+void DaisyServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (stopping_.load()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (pending_fds_.size() < options_.accept_backlog) {
+        pending_fds_.push_back(fd);
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      // The outer admission gate: a full queue answers with one clean,
+      // retryable error frame instead of letting connections pile up.
+      SendError(fd, Status::ResourceExhausted(
+                        "daisyd accept queue full, retry later"));
+      ::close(fd);
+    }
+  }
+}
+
+void DaisyServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] {
+        return stopping_.load() || !pending_fds_.empty();
+      });
+      if (stopping_.load()) return;
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void DaisyServer::ServeConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    active_fds_.insert(fd);
+  }
+  Session session;
+  session.id = next_session_id_.fetch_add(1);
+  session.fd = fd;
+
+  // Hangup watchdog: MSG_PEEK never consumes, so it can share the socket
+  // with the serve loop. recv() == 0 means the peer closed.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog([fd, &session, &watchdog_stop] {
+    while (!watchdog_stop.load()) {
+      char b;
+      const ssize_t n = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0) {
+        session.disconnected.store(true);
+        return;
+      }
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        session.disconnected.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(kHangupPollInterval);
+    }
+  });
+
+  bool handshaken = false;
+  Result<std::string> first = ReadFrame(fd);
+  if (first.ok()) {
+    Result<HelloMsg> hello = HelloMsg::Decode(first.value());
+    if (!hello.ok()) {
+      SendError(fd, hello.status());
+    } else if (hello.value().version != kProtocolVersion) {
+      SendError(fd, Status::InvalidArgument(
+                        "protocol version mismatch: client " +
+                        std::to_string(hello.value().version) + ", server " +
+                        std::to_string(kProtocolVersion)));
+    } else {
+      HelloAckMsg ack;
+      ack.session_id = session.id;
+      ack.banner = "daisyd";
+      handshaken = WriteFrame(fd, ack.Encode()).ok();
+    }
+  }
+
+  while (handshaken && !stopping_.load() && !session.disconnected.load()) {
+    Result<std::string> frame = ReadFrame(fd);
+    if (!frame.ok()) break;  // NotFound = clean hangup; IOError = poisoned
+    if (!DispatchRequest(&session, frame.value())) break;
+  }
+
+  watchdog_stop.store(true);
+  watchdog.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    active_fds_.erase(fd);
+  }
+  ::close(fd);
+  sessions_served_.fetch_add(1);
+}
+
+bool DaisyServer::DispatchRequest(Session* session,
+                                  const std::string& payload) {
+  Result<MessageType> type = PeekType(payload);
+  if (!type.ok()) {
+    SendError(session->fd, type.status());
+    return false;
+  }
+  switch (type.value()) {
+    case MessageType::kQuery:
+      return HandleQuery(session, payload);
+    case MessageType::kAppend:
+      return HandleAppend(session, payload);
+    case MessageType::kDelete:
+      return HandleDelete(session, payload);
+    case MessageType::kCleanAll:
+      return HandleSimple(session, +[](DaisyEngine* e) {
+        return e->CleanAllRemaining();
+      });
+    case MessageType::kCheckpoint:
+      return HandleSimple(session, +[](DaisyEngine* e) {
+        return e->Checkpoint();
+      });
+    case MessageType::kHealth:
+      return HandleHealth(session);
+    case MessageType::kSchema:
+      return HandleSchema(session);
+    case MessageType::kBye:
+      return false;
+    default:
+      // A reply type (or garbage) from a client poisons the stream.
+      SendError(session->fd,
+                Status::InvalidArgument(
+                    std::string("unexpected client frame type: ") +
+                    MessageTypeToString(type.value())));
+      return false;
+  }
+}
+
+bool DaisyServer::HandleQuery(Session* session, const std::string& payload) {
+  Result<QueryMsg> msg = QueryMsg::Decode(payload);
+  if (!msg.ok()) {
+    SendError(session->fd, msg.status());
+    return false;  // undecodable frame: poisoned stream
+  }
+  ++session->queries;
+
+  QueryLimits limits;
+  limits.timeout_ms = msg.value().timeout_ms;
+  limits.row_limit = msg.value().row_limit;
+  limits.cancel = &session->disconnected;
+
+  if (msg.value().mode == QueryMode::kExplainAnalyze) {
+    Result<std::string> text =
+        engine_->ExplainAnalyze(msg.value().sql, limits);
+    if (!text.ok()) return SendError(session->fd, text.status());
+    ExplainTextMsg reply;
+    reply.text = std::move(text).value();
+    return WriteFrame(session->fd, reply.Encode()).ok();
+  }
+
+  Result<QueryReport> report = engine_->Query(msg.value().sql, limits);
+  if (!report.ok()) return SendError(session->fd, report.status());
+
+  const Table& result = report.value().output.result;
+  RowHeaderMsg header;
+  for (const Column& col : result.schema().columns()) {
+    header.names.push_back(col.name);
+    header.types.push_back(static_cast<uint8_t>(col.type));
+  }
+  if (!WriteFrame(session->fd, header.Encode()).ok()) return false;
+
+  RowBatchMsg batch;
+  for (RowId r = 0; r < result.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(result.num_columns());
+    for (size_t c = 0; c < result.num_columns(); ++c) {
+      row.push_back(result.cell(r, c).MostProbable());
+    }
+    batch.rows.push_back(std::move(row));
+    if (batch.rows.size() == kRowsPerBatch) {
+      if (!WriteFrame(session->fd, batch.Encode()).ok()) return false;
+      batch.rows.clear();
+    }
+  }
+  if (!batch.rows.empty()) {
+    if (!WriteFrame(session->fd, batch.Encode()).ok()) return false;
+  }
+
+  QueryDoneMsg done;
+  done.total_rows = result.num_rows();
+  done.epoch = report.value().epoch;
+  done.termination = static_cast<uint8_t>(report.value().termination);
+  done.read_path = report.value().read_path;
+  done.cut_node = report.value().cut_node;
+  done.errors_fixed = report.value().errors_fixed;
+  done.rules_applied = report.value().rules_applied;
+  done.tuples_scanned = report.value().tuples_scanned;
+  return WriteFrame(session->fd, done.Encode()).ok();
+}
+
+bool DaisyServer::HandleAppend(Session* session, const std::string& payload) {
+  Result<AppendMsg> msg = AppendMsg::Decode(payload);
+  if (!msg.ok()) {
+    SendError(session->fd, msg.status());
+    return false;
+  }
+  ++session->writes;
+  const size_t nrows = msg.value().rows.size();
+  Result<TableDelta> delta =
+      engine_->AppendRows(msg.value().table, std::move(msg.value().rows));
+  if (!delta.ok()) return SendError(session->fd, delta.status());
+  AckMsg ack;
+  ack.rows_affected = nrows;
+  return WriteFrame(session->fd, ack.Encode()).ok();
+}
+
+bool DaisyServer::HandleDelete(Session* session, const std::string& payload) {
+  Result<DeleteMsg> msg = DeleteMsg::Decode(payload);
+  if (!msg.ok()) {
+    SendError(session->fd, msg.status());
+    return false;
+  }
+  ++session->writes;
+  std::vector<RowId> ids(msg.value().row_ids.begin(),
+                         msg.value().row_ids.end());
+  Result<TableDelta> delta = engine_->DeleteRows(msg.value().table, ids);
+  if (!delta.ok()) return SendError(session->fd, delta.status());
+  AckMsg ack;
+  ack.rows_affected = delta.value().deleted.size();
+  return WriteFrame(session->fd, ack.Encode()).ok();
+}
+
+bool DaisyServer::HandleSimple(Session* session, Status (*op)(DaisyEngine*)) {
+  ++session->writes;
+  const Status s = op(engine_);
+  if (!s.ok()) return SendError(session->fd, s);
+  AckMsg ack;
+  return WriteFrame(session->fd, ack.Encode()).ok();
+}
+
+bool DaisyServer::HandleHealth(Session* session) {
+  const EngineHealthInfo info = engine_->Health();
+  HealthInfoMsg reply;
+  reply.state = static_cast<uint8_t>(info.state);
+  reply.cause = info.cause.ok() ? "" : info.cause.ToString();
+  reply.recover_attempts = info.recover_attempts;
+  return WriteFrame(session->fd, reply.Encode()).ok();
+}
+
+bool DaisyServer::HandleSchema(Session* session) {
+  SchemaInfoMsg reply;
+  for (const DaisyEngine::TableSummary& t : engine_->TableSummaries()) {
+    SchemaInfoMsg::TableInfo info;
+    info.name = t.name;
+    info.num_rows = t.live_rows;
+    for (const Column& col : t.schema.columns()) {
+      info.columns.push_back(col.name);
+      info.types.push_back(static_cast<uint8_t>(col.type));
+    }
+    reply.tables.push_back(std::move(info));
+  }
+  return WriteFrame(session->fd, reply.Encode()).ok();
+}
+
+bool DaisyServer::SendError(int fd, const Status& s) {
+  return WriteFrame(fd, ErrorMsg::FromStatus(s).Encode()).ok();
+}
+
+}  // namespace server
+}  // namespace daisy

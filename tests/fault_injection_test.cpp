@@ -35,6 +35,7 @@
 
 #include "clean/daisy_engine.h"
 #include "persist/fault_env.h"
+#include "persist/format.h"
 #include "persist/io_util.h"
 #include "persist_test_util.h"
 #include "storage/database.h"
@@ -598,6 +599,238 @@ TEST(CutQueries, StayVolatileAcrossRestart) {
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   RunState ref;  // never ran the cut query at all
   BuildEngine(&ref);
+  ExpectEnginesEquivalent(recovered.value().get(), ref.engine.get(),
+                          kProbeQueries);
+}
+
+// ---------------------------------------------------------------------
+// Group commit under faults. The queue's hold hook makes the batch
+// deterministic: three writer threads enqueue their records, the test
+// arms the fault, releases the hold, and exactly one leader commits all
+// three records with one write + one fsync.
+
+struct BatchAppendResult {
+  Status status = Status::OK();
+};
+
+/// Launches one AppendRows("plain", {k}) per entry of `keys`, in order —
+/// thread i+1 only starts once record i is pending, so the batch's queue
+/// (and epoch, and replay) order is exactly `keys`. Returns with every
+/// record pending and the commits held.
+void LaunchHeldAppends(DaisyEngine* engine, std::vector<int64_t> keys,
+                       std::vector<BatchAppendResult>* results,
+                       std::vector<std::thread>* threads) {
+  persist::GroupCommitQueue* queue = engine->wal_queue_for_test();
+  ASSERT_NE(queue, nullptr);
+  queue->TestHoldCommits(true);
+  results->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int64_t key = keys[i];
+    threads->emplace_back([engine, results, i, key] {
+      (*results)[i].status =
+          engine->AppendRows("plain", {{Value(key)}}).status();
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (queue->TestPendingDepth() < i + 1) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "append " << i << " never reached the commit queue";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+/// Reference that executed the recovered WAL's records (in file order —
+/// the order the batch actually committed) on top of the base state.
+void ExpectRecoveredEqualsWalReference(const std::string& dir,
+                                       uint64_t generation) {
+  char wal_name[32];
+  std::snprintf(wal_name, sizeof(wal_name), "/wal-%06llu.dwal",
+                static_cast<unsigned long long>(generation));
+  Result<persist::WalContents> wal = persist::ReadWal(dir + wal_name);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  Database rec_db;
+  Result<std::unique_ptr<DaisyEngine>> recovered =
+      DaisyEngine::Open(dir, &rec_db);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+
+  RunState ref;
+  BuildEngine(&ref);
+  for (const std::string& payload : wal.value().payloads) {
+    Result<persist::WalRecord> record = persist::DecodeWalRecord(payload);
+    ASSERT_TRUE(record.ok()) << record.status();
+    ASSERT_EQ(record.value().type, persist::kWalAppendRows);
+    ASSERT_TRUE(ref.engine
+                    ->AppendRows(record.value().table,
+                                 std::move(record.value().rows))
+                    .ok());
+  }
+  ExpectEnginesEquivalent(recovered.value().get(), ref.engine.get(),
+                          kProbeQueries);
+}
+
+// FailNthSync hits the batched commit: every op in the batch reports
+// kDegraded, none is acked, and a clean-env reopen equals a reference
+// that executed exactly the acked prefix — here empty — plus whatever
+// records provably landed in the log before the failed fsync (the batch
+// frame was written; only its durability failed). The WAL file itself is
+// the deterministic arbiter of that crash-consistency ambiguity.
+TEST(GroupCommitFaults, FailedBatchedSyncDegradesAllAcksNone) {
+  TempDir tmp;
+  const std::string dir = tmp.Sub("state");
+  persist::FaultInjectingEnv fenv;
+  RunState live;
+  BuildEngine(&live);
+  ASSERT_TRUE(live.engine->EnablePersistence(dir, &fenv).ok());
+
+  // These tests exercise the batching queue itself; under the
+  // DAISY_GROUP_COMMIT=0 ablation the engine has none (the per-op fsync
+  // path is what the rest of the suite then covers), so skip.
+  if (live.engine->wal_queue_for_test() == nullptr) {
+    GTEST_SKIP() << "group commit disabled by env override";
+  }
+  std::vector<BatchAppendResult> results;
+  std::vector<std::thread> threads;
+  LaunchHeldAppends(live.engine.get(), {101, 102, 103}, &results, &threads);
+  // All three records are pending and no I/O is in flight: the next fsync
+  // is the batch's shared one.
+  fenv.FailNthSync(fenv.syncs() + 1, EIO);
+  live.engine->wal_queue_for_test()->TestHoldCommits(false);
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_GT(fenv.faults_fired(), 0u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kDegraded)
+        << "op " << i << ": " << results[i].status;
+  }
+  EXPECT_EQ(live.engine->Health().state, EngineHealth::kDegradedReadOnly);
+  // Reads keep serving; a fresh writer is rejected, and so is a writer
+  // enqueued against the poisoned queue (no record may land behind the
+  // failed batch until rotation).
+  EXPECT_TRUE(live.engine->Query("SELECT k FROM plain").ok());
+  EXPECT_EQ(live.engine
+                ->AppendRows("plain", {{Value(int64_t{104})}})
+                .status()
+                .code(),
+            StatusCode::kDegraded);
+  live.engine.reset();
+
+  ExpectRecoveredEqualsWalReference(dir, /*generation=*/1);
+}
+
+// The crash variant: the batch's write() itself fails and nothing lands.
+// The clean-env reopen must equal the base state exactly — zero of the
+// unacked ops may survive.
+TEST(GroupCommitFaults, CrashedBatchWriteLosesWholeBatch) {
+  TempDir tmp;
+  const std::string dir = tmp.Sub("state");
+  persist::FaultInjectingEnv fenv;
+  RunState live;
+  BuildEngine(&live);
+  ASSERT_TRUE(live.engine->EnablePersistence(dir, &fenv).ok());
+
+  if (live.engine->wal_queue_for_test() == nullptr) {
+    GTEST_SKIP() << "group commit disabled by env override";
+  }
+  std::vector<BatchAppendResult> results;
+  std::vector<std::thread> threads;
+  LaunchHeldAppends(live.engine.get(), {201, 202, 203}, &results, &threads);
+  fenv.CrashAtCall(fenv.calls());  // next Env call (the batch write) fails
+  live.engine->wal_queue_for_test()->TestHoldCommits(false);
+  for (std::thread& t : threads) t.join();
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kDegraded)
+        << "op " << i << ": " << results[i].status;
+  }
+  EXPECT_EQ(live.engine->Health().state, EngineHealth::kDegradedReadOnly);
+  live.engine.reset();
+
+  Database rec_db;
+  Result<std::unique_ptr<DaisyEngine>> recovered =
+      DaisyEngine::Open(dir, &rec_db);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  RunState ref;  // no op was acked; the reference executes none
+  BuildEngine(&ref);
+  ExpectEnginesEquivalent(recovered.value().get(), ref.engine.get(),
+                          kProbeQueries);
+}
+
+// The happy path of the same harness: a held batch of three commits with
+// one write + one fsync, every op acks, and recovery replays the batch in
+// its WAL order.
+TEST(GroupCommitFaults, HeldBatchCommitsTogetherAndRecovers) {
+  TempDir tmp;
+  const std::string dir = tmp.Sub("state");
+  RunState live;
+  BuildEngine(&live);
+  ASSERT_TRUE(live.engine->EnablePersistence(dir).ok());
+
+  if (live.engine->wal_queue_for_test() == nullptr) {
+    GTEST_SKIP() << "group commit disabled by env override";
+  }
+  std::vector<BatchAppendResult> results;
+  std::vector<std::thread> threads;
+  LaunchHeldAppends(live.engine.get(), {301, 302, 303}, &results, &threads);
+  live.engine->wal_queue_for_test()->TestHoldCommits(false);
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].status.ok()) << "op " << i << ": "
+                                        << results[i].status;
+  }
+
+  const persist::WalCommitStats stats = live.engine->WalStats();
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stats.max_batch_records, 3u);
+  live.engine.reset();
+
+  ExpectRecoveredEqualsWalReference(dir, /*generation=*/1);
+}
+
+// TryRecover after a failed batched commit: rotation resets the queue's
+// poison, the engine re-arms on a fresh generation, and the previously
+// failed (unacked, in-memory) ops become durable via the new snapshot —
+// the same semantics the single-op TryRecover contract pins.
+TEST(GroupCommitFaults, TryRecoverResetsPoisonedQueue) {
+  TempDir tmp;
+  const std::string dir = tmp.Sub("state");
+  persist::FaultInjectingEnv fenv;
+  RunState live;
+  BuildEngine(&live);
+  ASSERT_TRUE(live.engine->EnablePersistence(dir, &fenv).ok());
+
+  if (live.engine->wal_queue_for_test() == nullptr) {
+    GTEST_SKIP() << "group commit disabled by env override";
+  }
+  std::vector<BatchAppendResult> results;
+  std::vector<std::thread> threads;
+  LaunchHeldAppends(live.engine.get(), {401, 402}, &results, &threads);
+  fenv.FailNthSync(fenv.syncs() + 1, EIO);
+  live.engine->wal_queue_for_test()->TestHoldCommits(false);
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(live.engine->Health().state, EngineHealth::kDegradedReadOnly);
+
+  fenv.ClearFaults();
+  ASSERT_TRUE(live.engine->TryRecover().ok());
+  EXPECT_EQ(live.engine->Health().state, EngineHealth::kHealthy);
+  // The queue is re-armed on the fresh WAL: new writers commit again.
+  ASSERT_TRUE(live.engine->AppendRows("plain", {{Value(int64_t{403})}}).ok());
+  live.engine.reset();
+
+  Database rec_db;
+  Result<std::unique_ptr<DaisyEngine>> recovered =
+      DaisyEngine::Open(dir, &rec_db);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  RunState ref;
+  BuildEngine(&ref);
+  // The recovery snapshot captured the in-memory effects of the failed
+  // batch (lock order: 401 before 402) plus the post-recovery append.
+  ASSERT_TRUE(ref.engine->AppendRows("plain", {{Value(int64_t{401})}}).ok());
+  ASSERT_TRUE(ref.engine->AppendRows("plain", {{Value(int64_t{402})}}).ok());
+  ASSERT_TRUE(ref.engine->AppendRows("plain", {{Value(int64_t{403})}}).ok());
   ExpectEnginesEquivalent(recovered.value().get(), ref.engine.get(),
                           kProbeQueries);
 }
