@@ -182,8 +182,11 @@ int main() {
   json.Add(std::move(result));
   json.Finish();
 
-  daisy::persist::RemoveFileIfExists(state_dir + "/snapshot-000001.dsnap");
-  daisy::persist::RemoveFileIfExists(state_dir + "/wal-000001.dwal");
+  // Best-effort temp-dir cleanup; a leftover file cannot affect the
+  // measurements already written out.
+  (void)daisy::persist::RemoveFileIfExists(state_dir +
+                                           "/snapshot-000001.dsnap");
+  (void)daisy::persist::RemoveFileIfExists(state_dir + "/wal-000001.dwal");
   ::rmdir(state_dir.c_str());
   ::rmdir(dir);
   return 0;

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Negative compile tests: prove the static contracts actually fire.
+
+Each ``fail_*.cc`` fixture in tests/negative_compile must FAIL to compile
+under the contract flags, with the expected diagnostic in the output;
+``pass_*.cc`` fixtures must compile cleanly under the same flags (the
+positive control that the flags are not rejecting everything).
+
+Thread-safety fixtures only fire under clang (the annotations are no-ops
+on GCC), so they are skipped — loudly — on other compilers. The
+[[nodiscard]] fixture fires on every compiler.
+
+Usage: negative_compile_test.py --compiler c++ --source-dir <repo-root>
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+# fixture -> (needs_clang, regex that must appear in the diagnostics)
+EXPECTATIONS = {
+    "fail_guarded_by.cc": (True, "thread-safety|guarded_by|guarded by"),
+    "fail_requires.cc": (True, "thread-safety|requires|calling function"),
+    "fail_nodiscard_status.cc": (False, "unused-result|nodiscard|ignoring"),
+}
+
+
+def compiler_is_clang(compiler):
+    try:
+        proc = subprocess.run(
+            [compiler, "-dM", "-E", "-x", "c++", os.devnull],
+            capture_output=True, text=True)
+    except OSError:
+        return False
+    return "__clang__" in proc.stdout
+
+
+def compile_fixture(compiler, flags, path):
+    cmd = [compiler] + flags + ["-fsyntax-only", path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--compiler", default="c++")
+    parser.add_argument("--source-dir", default=".")
+    args = parser.parse_args(argv)
+
+    fixture_dir = os.path.join(args.source_dir, "tests", "negative_compile")
+    if not os.path.isdir(fixture_dir):
+        print("no fixture dir: %s" % fixture_dir, file=sys.stderr)
+        return 2
+
+    is_clang = compiler_is_clang(args.compiler)
+    flags = ["-std=c++17", "-Werror=unused-result",
+             "-I", os.path.join(args.source_dir, "src")]
+    if is_clang:
+        flags += ["-Wthread-safety", "-Werror=thread-safety"]
+
+    failures = 0
+    names = sorted(os.listdir(fixture_dir))
+
+    # Positive controls first: if these fail, every negative result below
+    # is meaningless.
+    for name in names:
+        if not (name.startswith("pass_") and name.endswith(".cc")):
+            continue
+        rc, out = compile_fixture(args.compiler, flags,
+                                  os.path.join(fixture_dir, name))
+        if rc != 0:
+            print("FAIL: %s should compile cleanly but did not:" % name)
+            print(out)
+            failures += 1
+        else:
+            print("ok: %s compiles (positive control)" % name)
+
+    for name in names:
+        if not (name.startswith("fail_") and name.endswith(".cc")):
+            continue
+        if name not in EXPECTATIONS:
+            print("FAIL: %s has no entry in EXPECTATIONS" % name)
+            failures += 1
+            continue
+        needs_clang, want_re = EXPECTATIONS[name]
+        if needs_clang and not is_clang:
+            print("skip: %s (thread-safety analysis needs clang; compiler "
+                  "is not clang)" % name)
+            continue
+        rc, out = compile_fixture(args.compiler, flags,
+                                  os.path.join(fixture_dir, name))
+        if rc == 0:
+            print("FAIL: %s compiled but must not — the contract did not "
+                  "fire" % name)
+            failures += 1
+            continue
+        import re
+        if not re.search(want_re, out):
+            print("FAIL: %s failed to compile (good) but without the "
+                  "expected diagnostic /%s/:" % (name, want_re))
+            print(out)
+            failures += 1
+            continue
+        print("ok: %s fails to compile as asserted" % name)
+
+    if failures:
+        print("%d fixture expectation(s) failed" % failures, file=sys.stderr)
+        return 1
+    print("negative compile tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""clang-tidy wrapper with a committed suppression baseline.
+
+Runs clang-tidy (config from .clang-tidy) over every C++ source in src/
+and tools/, normalizes the findings to ``path:check-name: message`` (no
+line numbers — they churn on every edit), and compares the set against
+scripts/clang_tidy_baseline.txt:
+
+  * a finding in the baseline      -> suppressed (legacy, tracked)
+  * a finding NOT in the baseline  -> NEW, fails the run
+  * a baseline entry not found     -> reported as fixed (shrink the file)
+
+``--update-baseline`` rewrites the baseline from the current findings.
+Requires a compile database: pass --build-dir pointing at a CMake build
+configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON.
+
+Exit status: 0 = no new findings, 1 = new findings, 2 = setup error.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):\d+:\d+: (?:warning|error): "
+    r"(?P<msg>.*?) \[(?P<check>[a-z0-9.,-]+)\]$")
+
+
+def list_sources(root):
+    out = []
+    for top in ("src", "tools"):
+        for dirpath, _dirs, files in os.walk(os.path.join(root, top)):
+            for name in sorted(files):
+                if name.endswith(".cc"):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def normalize(root, line):
+    m = FINDING_RE.match(line)
+    if not m:
+        return None
+    path = os.path.relpath(m.group("path"), root).replace(os.sep, "/")
+    if path.startswith(".."):  # system/third-party header
+        return None
+    return "%s:%s: %s" % (path, m.group("check"), m.group("msg"))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(
+                            os.path.abspath(__file__)),
+                            "clang_tidy_baseline.txt"))
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("-j", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if shutil.which(args.clang_tidy) is None:
+        print("run_clang_tidy: %s not found on PATH" % args.clang_tidy,
+              file=sys.stderr)
+        return 2
+    compdb = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.isfile(compdb):
+        print("run_clang_tidy: no %s (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" % compdb,
+              file=sys.stderr)
+        return 2
+
+    sources = list_sources(root)
+    findings = set()
+    # Chunk to keep command lines short; clang-tidy parallelizes per file
+    # poorly, so shard the file list across processes ourselves.
+    shards = [sources[i::args.j] for i in range(args.j)]
+    procs = []
+    for shard in shards:
+        if not shard:
+            continue
+        procs.append(subprocess.Popen(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet"] + shard,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True))
+    for proc in procs:
+        out, _ = proc.communicate()
+        for line in out.splitlines():
+            norm = normalize(root, line)
+            if norm:
+                findings.add(norm)
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write("# clang-tidy suppression baseline — one normalized\n"
+                    "# finding per line; regenerate with\n"
+                    "# scripts/run_clang_tidy.py --update-baseline\n")
+            for line in sorted(findings):
+                f.write(line + "\n")
+        print("baseline updated: %d finding(s)" % len(findings))
+        return 0
+
+    baseline = set()
+    if os.path.isfile(args.baseline):
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = {l.strip() for l in f
+                        if l.strip() and not l.startswith("#")}
+
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+    for line in fixed:
+        print("fixed (remove from baseline): %s" % line)
+    for line in new:
+        print("NEW: %s" % line)
+    print("%d finding(s): %d baselined, %d new, %d fixed"
+          % (len(findings), len(findings & baseline), len(new), len(fixed)))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

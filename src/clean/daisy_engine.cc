@@ -4,7 +4,6 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 
 #include "persist/wal.h"
@@ -153,7 +152,7 @@ Status DaisyEngine::CheckWritableLocked() const {
 }
 
 EngineHealthInfo DaisyEngine::Health() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   EngineHealthInfo info;
   info.state = health_;
   info.cause = health_cause_;
@@ -172,7 +171,7 @@ EngineHealthInfo DaisyEngine::Health() const {
 }
 
 std::vector<DaisyEngine::TableSummary> DaisyEngine::TableSummaries() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   std::vector<TableSummary> out;
   for (const std::string& name : db_->TableNames()) {
     Result<const Table*> table =
@@ -188,7 +187,7 @@ std::vector<DaisyEngine::TableSummary> DaisyEngine::TableSummaries() const {
 }
 
 Status DaisyEngine::Prepare() {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterLock lock(&*mu_);
   epoch_ = 0;
   statistics_.Clear();
   rules_.clear();
@@ -332,7 +331,7 @@ Result<QueryReport> DaisyEngine::QueryWithLimits(const SelectStmt& stmt,
     // writers are excluded, so the check stays valid for the whole shared
     // section. The statistics-pruning fast paths are what make quiescent
     // FD runs read-only, so with pruning disabled every query serializes.
-    std::shared_lock<std::shared_mutex> lock(*mu_);
+    ReaderLock lock(&*mu_);
     if (health_ == EngineHealth::kFailed) {
       return Status::Internal("engine failed (unrecoverable): " +
                               health_cause_.ToString());
@@ -354,7 +353,7 @@ Result<QueryReport> DaisyEngine::QueryWithLimits(const SelectStmt& stmt,
   persist::GroupCommitQueue::TicketPtr ticket;
   Result<QueryReport> report = Status::Internal("unset");
   {
-    std::unique_lock<std::shared_mutex> lock(*mu_);
+    WriterLock lock(&*mu_);
     if (health_ == EngineHealth::kFailed) {
       return Status::Internal("engine failed (unrecoverable): " +
                               health_cause_.ToString());
@@ -393,7 +392,7 @@ Result<QueryReport> DaisyEngine::QueryWithLimits(const SelectStmt& stmt,
 Result<std::string> DaisyEngine::Explain(const std::string& sql) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
   // Planning never mutates engine state: always shared.
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   DAISY_ASSIGN_OR_RETURN(Plan plan, MakePlan(stmt));
   return plan.Explain();
 }
@@ -406,7 +405,7 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
                                                 const QueryLimits& limits) {
   DAISY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseQuery(sql));
   {
-    std::shared_lock<std::shared_mutex> lock(*mu_);
+    ReaderLock lock(&*mu_);
     if (health_ == EngineHealth::kFailed) {
       return Status::Internal("engine failed (unrecoverable): " +
                               health_cause_.ToString());
@@ -424,7 +423,7 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
   persist::GroupCommitQueue::TicketPtr ticket;
   Result<std::string> rendered = Status::Internal("unset");
   {
-    std::unique_lock<std::shared_mutex> lock(*mu_);
+    WriterLock lock(&*mu_);
     if (health_ == EngineHealth::kFailed) {
       return Status::Internal("engine failed (unrecoverable): " +
                               health_cause_.ToString());
@@ -462,7 +461,7 @@ Result<TableDelta> DaisyEngine::AppendRows(
   persist::GroupCommitQueue::TicketPtr ticket;
   TableDelta delta;
   {
-    std::unique_lock<std::shared_mutex> lock(*mu_);
+    WriterLock lock(&*mu_);
     if (!prepared_) return Status::Internal("Prepare() must be called first");
     DAISY_RETURN_IF_ERROR(CheckWritableLocked());
     DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
@@ -494,7 +493,7 @@ Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
   persist::GroupCommitQueue::TicketPtr ticket;
   TableDelta delta;
   {
-    std::unique_lock<std::shared_mutex> lock(*mu_);
+    WriterLock lock(&*mu_);
     if (!prepared_) return Status::Internal("Prepare() must be called first");
     DAISY_RETURN_IF_ERROR(CheckWritableLocked());
     DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
@@ -565,7 +564,7 @@ Status DaisyEngine::ApplyDeltaToRules(const std::string& table_name,
 Status DaisyEngine::CleanAllRemaining() {
   persist::GroupCommitQueue::TicketPtr ticket;
   {
-    std::unique_lock<std::shared_mutex> lock(*mu_);
+    WriterLock lock(&*mu_);
     if (!prepared_) return Status::Internal("Prepare() must be called first");
     DAISY_RETURN_IF_ERROR(CheckWritableLocked());
     const CleaningOptions clean_opts = MakeCleaningOptions();
@@ -573,6 +572,9 @@ Status DaisyEngine::CleanAllRemaining() {
       if (state.op->fully_checked()) continue;
       DAISY_ASSIGN_OR_RETURN(CleanSelectResult res,
                              state.op->CleanRemaining(clean_opts));
+      // The per-rule counters are only reported on the query path; a
+      // manual full clean wants the side effects (repairs + coverage),
+      // not the report.
       (void)res;
     }
     ++epoch_;
@@ -586,7 +588,7 @@ Status DaisyEngine::ImportProvenance(const std::string& table,
                                      const ProvenanceStore& store) {
   persist::GroupCommitQueue::TicketPtr ticket;
   {
-    std::unique_lock<std::shared_mutex> lock(*mu_);
+    WriterLock lock(&*mu_);
     if (!prepared_) return Status::Internal("Prepare() must be called first");
     DAISY_RETURN_IF_ERROR(CheckWritableLocked());
     DAISY_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
@@ -604,21 +606,21 @@ Status DaisyEngine::ImportProvenance(const std::string& table,
 }
 
 Result<bool> DaisyEngine::RuleFullyChecked(const std::string& rule) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   auto it = rules_.find(rule);
   if (it == rules_.end()) return Status::NotFound("no rule '" + rule + "'");
   return it->second.op->fully_checked();
 }
 
 const CostModel* DaisyEngine::cost_model(const std::string& rule) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   auto it = rules_.find(rule);
   return it == rules_.end() ? nullptr : &it->second.cost;
 }
 
 const ProvenanceStore* DaisyEngine::provenance(
     const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   auto it = provenance_.find(table);
   return it == provenance_.end() ? nullptr : &it->second;
 }

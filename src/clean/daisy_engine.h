@@ -21,13 +21,14 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "clean/clean_operators.h"
 #include "clean/cost_model.h"
 #include "clean/statistics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "constraints/constraint_set.h"
 #include "detect/fd_delta.h"
 #include "persist/group_commit.h"
@@ -379,23 +380,25 @@ class DaisyEngine {
 
   CleaningOptions MakeCleaningOptions() const;
   Status ApplyDeltaToRules(const std::string& table_name,
-                           const TableDelta& delta);
-  Result<Plan> MakePlan(const SelectStmt& stmt);
+                           const TableDelta& delta) DAISY_REQUIRES(*mu_);
+  Result<Plan> MakePlan(const SelectStmt& stmt) DAISY_REQUIRES_SHARED(*mu_);
   Result<QueryReport> QueryWithLimits(const SelectStmt& stmt,
                                       const QueryLimits& limits);
   /// Executes `plan` and assembles the report (caller holds mu_ in the
-  /// matching mode).
+  /// matching mode; a shared hold suffices — writer callers hold it
+  /// exclusively, which implies shared).
   Result<QueryReport> ExecutePlanLocked(Plan* plan, bool read_path,
-                                        uint64_t epoch);
+                                        uint64_t epoch)
+      DAISY_REQUIRES_SHARED(*mu_);
   /// Rebuilds every stale column projection and resyncs every DC detector.
   /// Called at the end of each writer section, before mu_ is released, so
   /// the shared read path only ever reads fresh derived state.
-  void RefreshDerivedState();
+  void RefreshDerivedState() DAISY_REQUIRES(*mu_);
 
   // Persistence internals (persist/engine_persist.cc). All run with the
   // caller holding mu_ exclusively, except RestorePersistedState's WAL
   // replay which re-enters the public operations.
-  Status WriteSnapshotLocked(const std::string& path);
+  Status WriteSnapshotLocked(const std::string& path) DAISY_REQUIRES(*mu_);
   Status RestoreEngineState(const persist::EngineSnapshot& snap);
   /// Queues (group commit) or appends (sync mode) one encoded record, if
   /// a WAL is attached and this is not a replay. Called at the end of a
@@ -405,56 +408,67 @@ class DaisyEngine {
   /// replay, or the sync append already returned durable). In sync mode a
   /// failed append degrades inline, exactly the pre-group-commit path.
   Result<persist::GroupCommitQueue::TicketPtr> LogWalLocked(
-      const std::string& payload);
+      const std::string& payload) DAISY_REQUIRES(*mu_);
   /// Second half of the commit: waits for the ticket's batch to become
   /// durable. Must be called without mu_ held (the engine stays available
   /// to other ops during the shared fsync). A failed batch degrades the
   /// engine — every op in the batch gets the failure, none is acked.
-  Status AwaitWalTicket(const persist::GroupCommitQueue::TicketPtr& ticket);
+  Status AwaitWalTicket(const persist::GroupCommitQueue::TicketPtr& ticket)
+      DAISY_EXCLUDES(*mu_);
   /// Gate checked before any writer mutation: returns kDegraded /
   /// kInternal when the engine is not healthy. After a durability failure
   /// the in-memory state is ahead of the durable log, so no further
   /// mutation may be accepted until TryRecover() re-arms persistence on a
   /// fresh generation.
-  Status CheckWritableLocked() const;
+  Status CheckWritableLocked() const DAISY_REQUIRES_SHARED(*mu_);
   /// Records a health transition (appended to the log, mirrored to
   /// stderr). `cause` becomes the machine's root cause for non-healthy
   /// targets.
-  void TransitionLocked(EngineHealth to, const Status& cause);
+  void TransitionLocked(EngineHealth to, const Status& cause)
+      DAISY_REQUIRES(*mu_);
   /// kHealthy → kDegradedReadOnly on a durability failure; returns a
   /// kDegraded status wrapping the root cause for the caller to surface.
-  Status DegradeLocked(const Status& cause);
+  Status DegradeLocked(const Status& cause) DAISY_REQUIRES(*mu_);
   /// Removes orphaned `*.tmp` files from the persistence directory
   /// (leftovers of atomic writes that crashed before their rename).
   /// Best-effort.
-  void SweepOrphanTmpFilesLocked();
+  void SweepOrphanTmpFilesLocked() DAISY_REQUIRES(*mu_);
   /// Shared by Checkpoint and TryRecover: writes snapshot generation
   /// `next` and starts its empty WAL. On success the engine serves from
   /// the new generation; old-generation files are deleted best-effort
   /// (an orphaned old generation is harmless — Open prefers the newest
   /// parseable snapshot).
-  Status RotateGenerationLocked();
+  Status RotateGenerationLocked() DAISY_REQUIRES(*mu_);
 
+  // Members NOT annotated GUARDED_BY(mu_), deliberately: db_, options_,
+  // constraints_ and statistics_ are handed out through unlocked inline
+  // accessors under the caller-side serialization contract documented
+  // above them, and every persistence field (persist_dir_ ... wal_replay_)
+  // is written by the static Open() path before the engine is shared and
+  // read by unlocked accessors afterwards. Annotating them would force
+  // locks onto paths whose protocol is "single-threaded by construction",
+  // which the analysis cannot express.
   Database* db_;
   ConstraintSet constraints_;
   DaisyOptions options_;
   Statistics statistics_;
-  std::map<std::string, RuleState> rules_;          ///< by rule name
-  std::map<std::string, ProvenanceStore> provenance_;  ///< by table name
-  /// Planner side-inputs pointing into rules_/statistics_; rebuilt by
-  /// Prepare().
-  std::unique_ptr<CleaningPlanContext> plan_context_;
-  bool prepared_ = false;
   /// Engine-wide reader/writer lock: exclusive for anything that may
   /// mutate cleaning state (writer queries, ingest, CleanAllRemaining,
   /// ImportProvenance, Prepare), shared for quiescent-plan queries and
   /// Explain. Heap-held so the engine stays movable (moving an engine
-  /// while other threads use it is invalid anyway).
-  std::unique_ptr<std::shared_mutex> mu_ =
-      std::make_unique<std::shared_mutex>();
+  /// while other threads use it is invalid anyway; the analysis treats
+  /// the smart pointer like the capability itself).
+  std::unique_ptr<SharedMutex> mu_ = std::make_unique<SharedMutex>();
+  std::map<std::string, RuleState> rules_ DAISY_GUARDED_BY(*mu_);
+  std::map<std::string, ProvenanceStore> provenance_
+      DAISY_GUARDED_BY(*mu_);  ///< by table name
+  /// Planner side-inputs pointing into rules_/statistics_; rebuilt by
+  /// Prepare().
+  std::unique_ptr<CleaningPlanContext> plan_context_ DAISY_GUARDED_BY(*mu_);
+  bool prepared_ DAISY_GUARDED_BY(*mu_) = false;
   /// Committed writer count; written under the exclusive lock, read under
   /// the shared lock. Reset by Prepare().
-  uint64_t epoch_ = 0;
+  uint64_t epoch_ DAISY_GUARDED_BY(*mu_) = 0;
 
   // Persistence state. Empty/null while the engine is memory-only.
   std::string persist_dir_;
@@ -472,14 +486,16 @@ class DaisyEngine {
   bool wal_replay_ = false;
 
   // Health machine (guarded by mu_ like the rest of the engine state).
-  EngineHealth health_ = EngineHealth::kHealthy;
-  Status health_cause_ = Status::OK();
-  std::vector<HealthTransition> health_log_;
-  uint64_t recover_attempts_ = 0;
+  EngineHealth health_ DAISY_GUARDED_BY(*mu_) = EngineHealth::kHealthy;
+  Status health_cause_ DAISY_GUARDED_BY(*mu_) = Status::OK();
+  std::vector<HealthTransition> health_log_ DAISY_GUARDED_BY(*mu_);
+  uint64_t recover_attempts_ DAISY_GUARDED_BY(*mu_) = 0;
   /// Earliest steady-clock time a TryRecover() attempt is admitted; the
   /// first attempt after degrading is always admitted.
-  std::chrono::steady_clock::time_point next_recover_at_{};
-  uint32_t recover_backoff_ms_ = 0;  ///< next window on failure (doubles)
+  std::chrono::steady_clock::time_point next_recover_at_
+      DAISY_GUARDED_BY(*mu_){};
+  /// next window on failure (doubles)
+  uint32_t recover_backoff_ms_ DAISY_GUARDED_BY(*mu_) = 0;
 };
 
 }  // namespace daisy

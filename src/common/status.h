@@ -42,7 +42,12 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// The outcome of a fallible operation: either OK or a code plus message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status loses an error — the build
+/// treats it as an error (-Werror=unused-result). Propagate it
+/// (DAISY_RETURN_IF_ERROR), handle it, or consume it with an explicit
+/// `(void)` cast plus a comment saying why ignoring is correct.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -116,8 +121,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// Either a T or an error Status. Access via ok()/value()/status().
+/// [[nodiscard]] for the same reason as Status: an unexamined Result drops
+/// an error on the floor.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value) : var_(std::move(value)) {}
   /* implicit */ Result(Status status) : var_(std::move(status)) {}

@@ -79,7 +79,7 @@ GeneratedData GenerateHospital(const HospitalConfig& config) {
          Value(rng.UniformInt(1, 100)), Value(rng.UniformInt(10, 500)),
          Value("avg_" + std::to_string(m % 20)),
          Value("Q" + std::to_string(1 + (i % 4))), Value("")});
-    (void)st;
+    (void)st;  // generator-controlled schema: cannot fail
   }
   GeneratedData out;
   out.truth = CopyAs(dirty, "hospital_truth");
@@ -138,7 +138,7 @@ GeneratedData GenerateNestle(const NestleConfig& config) {
       row.push_back(Value("v" + std::to_string(rng.UniformInt(0, 9))));
     }
     Status st = dirty.AppendRow(std::move(row));
-    (void)st;
+    (void)st;  // generator-controlled schema: cannot fail
     rows_per_material[m].push_back(i);
   }
   GeneratedData out;
@@ -198,7 +198,7 @@ GeneratedData GenerateAirQuality(const AirQualityConfig& config) {
          Value(static_cast<int64_t>(2000 + rng.UniformInt(
                                         0, static_cast<int64_t>(config.num_years) - 1))),
          Value(rng.UniformDouble(0.1, 5.0))});
-    (void)st;
+    (void)st;  // generator-controlled schema: cannot fail
     rows_per_county[county].push_back(i);
   }
   GeneratedData out;

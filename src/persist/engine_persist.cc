@@ -7,7 +7,6 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <mutex>
 
 #include "clean/daisy_engine.h"
 #include "persist/env.h"
@@ -98,12 +97,12 @@ Status DaisyEngine::AwaitWalTicket(
   // the rest see the transition already made — DegradeLocked is
   // idempotent. None of them is acked; their in-memory effects stay,
   // exactly like a failed sync append.
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterLock lock(&*mu_);
   return DegradeLocked(committed);
 }
 
 persist::WalCommitStats DaisyEngine::WalStats() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderLock lock(&*mu_);
   // With group commit the leader mutates the writer's counters outside
   // mu_; read them through the queue, which waits out an in-flight
   // leader. In sync mode mu_ alone serializes the writer.
@@ -125,6 +124,7 @@ void DaisyEngine::SweepOrphanTmpFilesLocked() {
       removed = true;
     }
   }
+  // The sweep itself is best-effort; so is making it durable.
   if (removed) (void)persist::SyncDirectory(persist_dir_, env_);
 }
 
@@ -161,7 +161,7 @@ Status DaisyEngine::WriteSnapshotLocked(const std::string& path) {
 
 Status DaisyEngine::EnablePersistence(const std::string& dir,
                                       persist::Env* env) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterLock lock(&*mu_);
   if (!prepared_) return Status::Internal("Prepare() must be called first");
   if (!persist_dir_.empty()) {
     return Status::AlreadyExists("persistence already enabled at " +
@@ -242,6 +242,9 @@ Status DaisyEngine::RotateGenerationLocked() {
   if (wal_queue_ != nullptr) wal_queue_->Reset(wal_.get());
   const uint64_t old = persist_seq_;
   persist_seq_ = next;
+  // Old-generation cleanup is best-effort: generation N+1 is already
+  // durable, so a leftover N pair only wastes disk; recovery always picks
+  // the highest complete generation.
   (void)persist::RemoveFileIfExists(WalPath(persist_dir_, old), env_);
   (void)persist::RemoveFileIfExists(SnapshotPath(persist_dir_, old), env_);
   (void)persist::SyncDirectory(persist_dir_, env_);
@@ -250,7 +253,7 @@ Status DaisyEngine::RotateGenerationLocked() {
 }
 
 Status DaisyEngine::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterLock lock(&*mu_);
   if (wal_ == nullptr) {
     return Status::Internal("Checkpoint() requires EnablePersistence/Open");
   }
@@ -264,7 +267,7 @@ Status DaisyEngine::Checkpoint() {
 }
 
 Status DaisyEngine::TryRecover() {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterLock lock(&*mu_);
   if (health_ == EngineHealth::kHealthy) {
     return Status::InvalidArgument("engine is healthy — nothing to recover");
   }
@@ -300,7 +303,7 @@ Status DaisyEngine::TryRecover() {
 }
 
 Status DaisyEngine::RestoreEngineState(const persist::EngineSnapshot& snap) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterLock lock(&*mu_);
   if (snap.rules.size() != rules_.size()) {
     return Status::InvalidArgument(
         "snapshot has state for " + std::to_string(snap.rules.size()) +
@@ -354,6 +357,7 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
     if (!IsTmpName(name)) continue;
     if (persist::RemoveFileIfExists(dir + "/" + name, e).ok()) swept = true;
   }
+  // The sweep itself is best-effort; so is making it durable.
   if (swept) (void)persist::SyncDirectory(dir, e);
   std::vector<uint64_t> seqs;
   for (const std::string& name : names) {

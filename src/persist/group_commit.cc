@@ -4,7 +4,7 @@ namespace daisy {
 namespace persist {
 
 GroupCommitQueue::TicketPtr GroupCommitQueue::Enqueue(std::string payload) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto ticket = std::make_shared<Ticket>();
   if (!poison_.ok()) {
     ticket->result = poison_;
@@ -16,7 +16,7 @@ GroupCommitQueue::TicketPtr GroupCommitQueue::Enqueue(std::string payload) {
 }
 
 Status GroupCommitQueue::Wait(const TicketPtr& ticket) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (;;) {
     if (ticket->done) return ticket->result;
     if (!committing_ && !hold_ && !pending_.empty()) {
@@ -29,25 +29,28 @@ Status GroupCommitQueue::Wait(const TicketPtr& ticket) {
       std::vector<std::string> payloads;
       payloads.reserve(batch.size());
       for (auto& entry : batch) payloads.push_back(std::move(entry.first));
-      lk.unlock();
-      const Status committed = writer_->AppendBatch(payloads);
-      lk.lock();
+      // Snapshot the writer under the lock; Reset() requires an idle
+      // queue, so it cannot swap writer_ while committing_ is set.
+      WalWriter* writer = writer_;
+      lk.Unlock();
+      const Status committed = writer->AppendBatch(payloads);
+      lk.Relock();
       if (!committed.ok()) poison_ = committed;
       for (auto& entry : batch) {
         entry.second->result = committed;
         entry.second->done = true;
       }
       committing_ = false;
-      cv_.notify_all();
+      cv_.NotifyAll();
       continue;  // our own ticket is done now
     }
-    cv_.wait(lk);
+    cv_.Wait(&mu_);
   }
 }
 
 Status GroupCommitQueue::Flush() {
-  std::unique_lock<std::mutex> lk(mu_);
-  while (committing_) cv_.wait(lk);
+  MutexLock lk(&mu_);
+  while (committing_) cv_.Wait(&mu_);
   if (!pending_.empty()) {
     // No leader can start (we hold the mutex) and no enqueuer can race
     // (the caller holds the engine's exclusive lock), so committing
@@ -66,31 +69,31 @@ Status GroupCommitQueue::Flush() {
       entry.second->result = committed;
       entry.second->done = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   return poison_;
 }
 
 void GroupCommitQueue::Reset(WalWriter* writer) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   writer_ = writer;
   poison_ = Status::OK();
 }
 
 WalCommitStats GroupCommitQueue::Stats() {
-  std::unique_lock<std::mutex> lk(mu_);
-  while (committing_) cv_.wait(lk);
+  MutexLock lk(&mu_);
+  while (committing_) cv_.Wait(&mu_);
   return writer_ != nullptr ? writer_->stats() : WalCommitStats{};
 }
 
 void GroupCommitQueue::TestHoldCommits(bool hold) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   hold_ = hold;
-  if (!hold_) cv_.notify_all();
+  if (!hold_) cv_.NotifyAll();
 }
 
 size_t GroupCommitQueue::TestPendingDepth() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return pending_.size();
 }
 

@@ -33,15 +33,15 @@
 #ifndef DAISY_PERSIST_GROUP_COMMIT_H_
 #define DAISY_PERSIST_GROUP_COMMIT_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "persist/wal.h"
 
 namespace daisy {
@@ -50,8 +50,10 @@ namespace persist {
 class GroupCommitQueue {
  public:
   /// One enqueued record's completion slot. `done`/`result` are guarded
-  /// by the queue mutex; shared_ptr so the op thread and the queue can
-  /// both outlive each other safely.
+  /// by the queue mutex (not annotatable: the Ticket outlives any one
+  /// queue and the analysis can't tie a struct to an external capability);
+  /// shared_ptr so the op thread and the queue can both outlive each
+  /// other safely.
   struct Ticket {
     Status result = Status::OK();
     bool done = false;
@@ -103,14 +105,16 @@ class GroupCommitQueue {
   size_t TestPendingDepth();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  WalWriter* writer_;
+  Mutex mu_;
+  CondVar cv_;
+  WalWriter* writer_ DAISY_GUARDED_BY(mu_);
   /// FIFO in engine-epoch order; each entry is (encoded record, ticket).
-  std::vector<std::pair<std::string, TicketPtr>> pending_;
-  bool committing_ = false;  ///< a leader is running AppendBatch
-  bool hold_ = false;        ///< TestHoldCommits
-  Status poison_ = Status::OK();
+  std::vector<std::pair<std::string, TicketPtr>> pending_
+      DAISY_GUARDED_BY(mu_);
+  /// a leader is running AppendBatch
+  bool committing_ DAISY_GUARDED_BY(mu_) = false;
+  bool hold_ DAISY_GUARDED_BY(mu_) = false;  ///< TestHoldCommits
+  Status poison_ DAISY_GUARDED_BY(mu_) = Status::OK();
 };
 
 }  // namespace persist

@@ -36,11 +36,14 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes,
     if (st.ok()) st = closed;
   }
   if (!st.ok()) {
+    // Cleanup on the failure path: the write error is the one to report;
+    // a leftover .tmp is swept by the orphan sweep on the next open.
     (void)env->RemoveFile(tmp);
     return st;
   }
   st = env->RenameFile(tmp, path);
   if (!st.ok()) {
+    // Same: report the rename failure, not the cleanup's.
     (void)env->RemoveFile(tmp);
     return st;
   }

@@ -63,6 +63,8 @@ Result<std::unique_ptr<DaisyClient>> DaisyClient::ConnectTcp(
 
 DaisyClient::~DaisyClient() {
   if (fd_ >= 0) {
+    // Best-effort goodbye: the socket is closing either way, and a
+    // destructor has no channel to report a send failure.
     (void)WriteFrame(fd_, EncodeEmpty(MessageType::kBye));
     ::close(fd_);
   }

@@ -57,6 +57,7 @@ Status DaisyServer::Start() {
     if (fd < 0) {
       return Status::IOError(std::string("socket: ") + std::strerror(errno));
     }
+    // daisy-lint: allow(raw-io) stale socket file cleanup, not a data file
     ::unlink(options_.unix_path.c_str());
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       return CloseOnError(fd, Status::IOError("bind " + options_.unix_path +
@@ -126,20 +127,26 @@ void DaisyServer::Stop() {
   // shutdown makes the pending read return 0, and an executing query sees
   // Session::disconnected at its next boundary check.
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    MutexLock lk(&conns_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 
   for (std::thread& t : accept_threads_) t.join();
   for (std::thread& t : workers_) t.join();
   accept_threads_.clear();
   workers_.clear();
 
-  // Connections accepted but never served.
-  for (int fd : pending_fds_) ::close(fd);
-  pending_fds_.clear();
+  // Connections accepted but never served. Every producer/consumer thread
+  // is joined, but lock anyway: the annotation contract on pending_fds_
+  // has no "single-threaded again" escape, and an uncontended lock is free.
+  {
+    MutexLock lk(&queue_mu_);
+    for (int fd : pending_fds_) ::close(fd);
+    pending_fds_.clear();
+  }
 
+  // daisy-lint: allow(raw-io) removes the listener socket file, not data
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
   listen_fds_.clear();
   started_ = false;
@@ -158,14 +165,14 @@ void DaisyServer::AcceptLoop(int listen_fd) {
     }
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(&queue_mu_);
       if (pending_fds_.size() < options_.accept_backlog) {
         pending_fds_.push_back(fd);
         admitted = true;
       }
     }
     if (admitted) {
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     } else {
       // The outer admission gate: a full queue answers with one clean,
       // retryable error frame instead of letting connections pile up.
@@ -180,10 +187,12 @@ void DaisyServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [this] {
-        return stopping_.load() || !pending_fds_.empty();
-      });
+      MutexLock lk(&queue_mu_);
+      // Explicit predicate loop: a lambda predicate would be analyzed
+      // without the caller's lockset and flag the pending_fds_ read.
+      while (!stopping_.load() && pending_fds_.empty()) {
+        queue_cv_.Wait(&queue_mu_);
+      }
       if (stopping_.load()) return;
       fd = pending_fds_.front();
       pending_fds_.pop_front();
@@ -194,7 +203,7 @@ void DaisyServer::WorkerLoop() {
 
 void DaisyServer::ServeConnection(int fd) {
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    MutexLock lk(&conns_mu_);
     active_fds_.insert(fd);
   }
   Session session;
@@ -249,7 +258,7 @@ void DaisyServer::ServeConnection(int fd) {
   watchdog_stop.store(true);
   watchdog.join();
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    MutexLock lk(&conns_mu_);
     active_fds_.erase(fd);
   }
   ::close(fd);

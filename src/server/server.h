@@ -32,16 +32,16 @@
 #define DAISY_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "server/session.h"
 
 namespace daisy {
@@ -119,12 +119,14 @@ class DaisyServer {
   std::vector<int> listen_fds_;
   int tcp_port_ = -1;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;
+  /// Guards the accept queue; accept threads push, workers pop.
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<int> pending_fds_ DAISY_GUARDED_BY(queue_mu_);
 
-  std::mutex conns_mu_;
-  std::set<int> active_fds_;
+  /// Guards the set of fds with a live serve loop (Stop() shuts them down).
+  Mutex conns_mu_;
+  std::set<int> active_fds_ DAISY_GUARDED_BY(conns_mu_);
 
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> next_session_id_{1};

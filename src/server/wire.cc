@@ -42,6 +42,7 @@ Status WriteFully(int fd, const void* buf, size_t len) {
     // MSG_NOSIGNAL: a hung-up peer yields EPIPE instead of killing the
     // process with SIGPIPE. Non-socket fds (ENOTSOCK) fall back to write.
     ssize_t n = ::send(fd, in + sent, len - sent, MSG_NOSIGNAL);
+    // daisy-lint: allow(raw-io) pipe/socketpair test fallback, not a file
     if (n < 0 && errno == ENOTSOCK) n = ::write(fd, in + sent, len - sent);
     if (n < 0) {
       if (errno == EINTR) continue;

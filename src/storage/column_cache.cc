@@ -222,7 +222,7 @@ const ColumnCache::Column& ColumnCache::column(size_t c) {
           table_->num_rows()) {
     return slot.col;
   }
-  std::lock_guard<std::mutex> lock(build_mu_);
+  MutexLock lock(&build_mu_);
   if (!slot.built ||
       slot.built_content_version != table_->content_version(c)) {
     Rebuild(c);

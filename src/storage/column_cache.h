@@ -64,10 +64,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "storage/table.h"
 
@@ -204,14 +205,18 @@ class ColumnCache {
     std::atomic<bool> published{false};
   };
 
-  void Rebuild(size_t c);
-  void Extend(size_t c);
+  void Rebuild(size_t c) DAISY_REQUIRES(build_mu_);
+  void Extend(size_t c) DAISY_REQUIRES(build_mu_);
   static void AssignRanks(Slot* slot);
 
   const Table* table_;
-  std::vector<Slot> slots_;  ///< sized at construction, never resized
+  /// Sized at construction, never resized. Slots are not GUARDED_BY: the
+  /// vector itself is immutable after construction, each slot's arrays are
+  /// written only under build_mu_ (via Rebuild/Extend), and the published_*
+  /// atomics are the slot's own release/acquire gate for lock-free readers.
+  std::vector<Slot> slots_;
   uint64_t id_;
-  std::mutex build_mu_;  ///< serializes Rebuild/Extend and publication
+  Mutex build_mu_;  ///< serializes Rebuild/Extend and publication
 };
 
 }  // namespace daisy

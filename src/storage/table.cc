@@ -39,9 +39,14 @@ Table& Table::operator=(const Table& other) {
   live_ = other.live_;
   num_dead_ = other.num_dead_;
   deleted_log_ = other.deleted_log_;
-  cache_ptr_.store(nullptr, std::memory_order_release);
-  cache_.reset();  // held a pointer to *this with the old contents
+  DropCache();  // held a pointer to *this with the old contents
   return *this;
+}
+
+void Table::DropCache() const {
+  cache_ptr_.store(nullptr, std::memory_order_release);
+  MutexLock lock(&cache_mu_);
+  cache_.reset();
 }
 
 Table::Table(Table&& other) noexcept
@@ -56,8 +61,7 @@ Table::Table(Table&& other) noexcept
       num_dead_(other.num_dead_),
       deleted_log_(std::move(other.deleted_log_)) {
   // other.cache_ points at `other`; never adopt it.
-  other.cache_ptr_.store(nullptr, std::memory_order_release);
-  other.cache_.reset();
+  other.DropCache();
 }
 
 Table& Table::operator=(Table&& other) noexcept {
@@ -72,10 +76,8 @@ Table& Table::operator=(Table&& other) noexcept {
   live_ = std::move(other.live_);
   num_dead_ = other.num_dead_;
   deleted_log_ = std::move(other.deleted_log_);
-  cache_ptr_.store(nullptr, std::memory_order_release);
-  cache_.reset();
-  other.cache_ptr_.store(nullptr, std::memory_order_release);
-  other.cache_.reset();
+  DropCache();
+  other.DropCache();
   return *this;
 }
 
@@ -84,7 +86,7 @@ ColumnCache& Table::columns() const {
   // creation so concurrent readers never race on cache_.
   ColumnCache* cached = cache_ptr_.load(std::memory_order_acquire);
   if (cached != nullptr) return *cached;
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   if (cache_ == nullptr) {
     cache_ = std::make_unique<ColumnCache>(this);
     cache_ptr_.store(cache_.get(), std::memory_order_release);
@@ -263,8 +265,7 @@ Status Table::RestorePersistedState(std::vector<RowId> deleted_log,
   deleted_log_ = std::move(deleted_log);
   append_version_ = append_version;
   delta_generation_ = delta_generation;
-  cache_ptr_.store(nullptr, std::memory_order_release);
-  cache_.reset();
+  DropCache();
   return Status::OK();
 }
 

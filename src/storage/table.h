@@ -24,11 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/cell.h"
 #include "storage/schema.h"
 
@@ -215,6 +216,11 @@ class Table {
     ++column_versions_[c];
   }
   void BumpAllColumns() { ++version_; }
+  /// Drops the derived cache: unpublishes the lock-free pointer, then
+  /// destroys the cache under the creation mutex. Callers run with
+  /// exclusive access to the table (assignment, restore), but the lock
+  /// keeps the cache_ contract uniform and is uncontended there.
+  void DropCache() const;
   void BumpAppend() {
     ++append_version_;
     ++delta_generation_;
@@ -230,12 +236,14 @@ class Table {
   std::vector<uint8_t> live_;         ///< tombstone mask; empty = all live
   size_t num_dead_ = 0;               ///< count of tombstoned rows
   std::vector<RowId> deleted_log_;    ///< tombstoned ids, deletion order
-  mutable std::unique_ptr<ColumnCache> cache_;  ///< derived, built on demand
+  /// Derived, built on demand. Guarded by cache_mu_ for creation/reset;
+  /// readers reach the object lock-free through cache_ptr_ once published.
+  mutable std::unique_ptr<ColumnCache> cache_ DAISY_GUARDED_BY(cache_mu_);
   /// Published pointer to cache_ for lock-free reads once created; the
   /// mutex only serializes the first (lazy) creation. Neither member is
   /// copied or moved with the table — the copy/move paths reset both.
   mutable std::atomic<ColumnCache*> cache_ptr_{nullptr};
-  mutable std::mutex cache_mu_;
+  mutable Mutex cache_mu_;
 };
 
 }  // namespace daisy

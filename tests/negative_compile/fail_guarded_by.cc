@@ -1,0 +1,27 @@
+// Negative compile fixture: writing a DAISY_GUARDED_BY member without
+// holding its mutex must fail under clang -Werror=thread-safety.
+// Expected diagnostic: -Wthread-safety-analysis (guarded_by violation).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ++count_;  // BAD: no lock held
+  }
+
+ private:
+  daisy::Mutex mu_;
+  int count_ DAISY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

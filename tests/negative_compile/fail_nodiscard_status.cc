@@ -1,0 +1,16 @@
+// Negative compile fixture: discarding a Status must fail under
+// -Werror=unused-result on every compiler ([[nodiscard]] on the class).
+// Expected diagnostic: unused-result.
+
+#include "common/status.h"
+
+namespace {
+
+daisy::Status DoWork() { return daisy::Status::Internal("boom"); }
+
+}  // namespace
+
+int main() {
+  DoWork();  // BAD: Status dropped on the floor
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Negative compile fixture: calling a DAISY_REQUIRES method without
+// holding the mutex must fail under clang -Werror=thread-safety.
+// Expected diagnostic: -Wthread-safety-analysis (requires_capability).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  void MutateLocked() DAISY_REQUIRES(mu_) { ++state_; }
+
+  void Mutate() {
+    MutateLocked();  // BAD: mu_ not held
+  }
+
+ private:
+  daisy::SharedMutex mu_;
+  int state_ DAISY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.Mutate();
+  return 0;
+}

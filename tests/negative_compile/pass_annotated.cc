@@ -1,0 +1,63 @@
+// Positive control: correctly annotated locking and handled Status must
+// compile cleanly under the exact flags the fail_* fixtures use. If this
+// fixture ever fails, the negative results prove nothing (the flags are
+// rejecting everything, not catching violations).
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+daisy::Status DoWork() { return daisy::Status::OK(); }
+
+class Engine {
+ public:
+  void Mutate() {
+    daisy::WriterLock lock(&mu_);
+    MutateLocked();
+  }
+
+  int Read() {
+    daisy::ReaderLock lock(&mu_);
+    return state_;
+  }
+
+  void MutateLocked() DAISY_REQUIRES(mu_) { ++state_; }
+
+ private:
+  daisy::SharedMutex mu_;
+  int state_ DAISY_GUARDED_BY(mu_) = 0;
+};
+
+class Queue {
+ public:
+  void Put(int v) {
+    daisy::MutexLock lk(&mu_);
+    value_ = v;
+    cv_.NotifyOne();
+  }
+
+  int Take() {
+    daisy::MutexLock lk(&mu_);
+    while (value_ == 0) cv_.Wait(&mu_);
+    return value_;
+  }
+
+ private:
+  daisy::Mutex mu_;
+  daisy::CondVar cv_;
+  int value_ DAISY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const daisy::Status st = DoWork();
+  if (!st.ok()) return 1;
+  Engine e;
+  e.Mutate();
+  Queue q;
+  q.Put(1);
+  return e.Read() == 1 && q.Take() == 1 ? 0 : 1;
+}
