@@ -7,13 +7,16 @@
 #ifndef DAISY_BENCH_BENCH_UTIL_H_
 #define DAISY_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "clean/daisy_engine.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "offline/offline_cleaner.h"
 
@@ -195,6 +198,46 @@ class BenchJsonWriter {
   std::string bench_;
   std::vector<BenchResult> results_;
   bool done_ = false;
+};
+
+/// Diffs MetricsRegistry::Global() counters around a bench leg. The
+/// registry is process-global and monotonic, so a snapshot taken before
+/// the leg subtracted from one taken after isolates exactly the leg's own
+/// work — no per-leg engine accessor plumbing required. Counter names
+/// appended to a BenchResult must not end in "_ms": bench_diff.py treats
+/// those as time-like and gates them against the committed baseline, while
+/// registry counts are exact and belong in the informational set.
+class RegistryCounterDelta {
+ public:
+  RegistryCounterDelta() : before_(MetricsRegistry::Global().TakeSnapshot()) {}
+
+  /// Restarts the window (e.g. between legs that reuse one instance).
+  void Reset() { before_ = MetricsRegistry::Global().TakeSnapshot(); }
+
+  /// Delta of one registry counter since construction/Reset(). A counter
+  /// not yet registered reads as zero on either side, so instrumenting a
+  /// path lazily never breaks the arithmetic.
+  uint64_t Delta(const std::string& metric) const {
+    const MetricsRegistry::Snapshot now =
+        MetricsRegistry::Global().TakeSnapshot();
+    return CounterAt(now, metric) - CounterAt(before_, metric);
+  }
+
+  /// Appends `out_name` = Delta(metric) to `result`'s counters.
+  void AddTo(BenchResult* result, const std::string& out_name,
+             const std::string& metric) const {
+    result->counters.emplace_back(out_name,
+                                  static_cast<double>(Delta(metric)));
+  }
+
+ private:
+  static uint64_t CounterAt(const MetricsRegistry::Snapshot& snap,
+                            const std::string& key) {
+    const auto it = snap.counters.find(key);
+    return it == snap.counters.end() ? 0 : it->second;
+  }
+
+  MetricsRegistry::Snapshot before_;
 };
 
 /// Prints a cumulative-time series (one line per query) in a

@@ -9,6 +9,13 @@ Rules (each scoped to the directories where the invariant applies):
               file operations route through persist::Env so fault
               injection, crash tests, and the health machine see them.
 
+  raw-stderr  [src/, tools/]   No direct stderr output — ``std::cerr`` or
+              ``fprintf(stderr, ...)`` — outside src/common/logger.cc.
+              Diagnostics go through the structured logger
+              (common/logger.h) so every line is JSON with a timestamp,
+              level, and component; tool mains may pragma-allow usage/
+              flag-parse text that must print before logging makes sense.
+
   raw-thread  [src/, tools/]   No ``std::mutex`` / ``std::shared_mutex`` /
               ``std::condition_variable`` / ``std::*_lock`` outside
               src/common/mutex.h — locking goes through the annotated
@@ -39,6 +46,9 @@ import sys
 RAW_IO_EXEMPT = {
     "src/persist/env.cc",
 }
+RAW_STDERR_EXEMPT = {
+    "src/common/logger.cc",  # the one sanctioned stderr writer
+}
 RAW_THREAD_EXEMPT = {
     "src/common/mutex.h",
     "src/common/thread_annotations.h",
@@ -65,6 +75,19 @@ RULES = [
              "raw stdio file I/O; route it through persist::Env"),
             (re.compile(r"\bstd::[io]?fstream\b"),
              "raw file stream; route it through persist::Env"),
+        ],
+    },
+    {
+        "name": "raw-stderr",
+        "dirs": ("src", "tools"),
+        "exempt": RAW_STDERR_EXEMPT,
+        "patterns": [
+            (re.compile(r"\bstd::cerr\b"),
+             "direct stderr output; use the structured logger "
+             "(common/logger.h)"),
+            (re.compile(r"\bfprintf\s*\(\s*stderr\b"),
+             "direct stderr output; use the structured logger "
+             "(common/logger.h)"),
         ],
     },
     {

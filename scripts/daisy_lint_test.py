@@ -37,6 +37,25 @@ FIXTURES = [
      'const char* k = "::rename(a, b)";\n', 0),
     ("raw-io not scoped to tests", "tests/a_test.cpp",
      'int f(int fd) { return ::write(fd, "x", 1); }\n', 0),
+    # --- raw-stderr ---
+    ("std::cerr flagged in src", "src/x/k.cc",
+     '#include <iostream>\nvoid f() { std::cerr << "oops\\n"; }\n', 1),
+    ("fprintf(stderr) flagged in src", "src/x/l.cc",
+     '#include <cstdio>\nvoid f() { std::fprintf(stderr, "oops\\n"); }\n',
+     1),
+    ("fprintf(stderr) flagged in tools", "tools/m_main.cc",
+     '#include <cstdio>\nint main() { fprintf(stderr, "x\\n"); }\n', 1),
+    ("stderr exempt in logger.cc", "src/common/logger.cc",
+     '#include <cstdio>\nvoid f() { std::fprintf(stderr, "line\\n"); }\n',
+     0),
+    ("stderr allowed with pragma", "tools/n_main.cc",
+     "// daisy-lint: allow(raw-stderr) usage text before logging exists\n"
+     'int usage() { std::fprintf(stderr, "usage\\n"); return 2; }\n', 0),
+    ("stderr in comment ignored", "src/x/m.cc",
+     "// writes to std::cerr? no: the logger owns stderr\nint x;\n", 0),
+    ("stderr not scoped to tests", "tests/e_test.cpp",
+     '#include <cstdio>\nvoid f() { std::fprintf(stderr, "dbg\\n"); }\n',
+     0),
     # --- raw-thread ---
     ("raw mutex flagged", "src/x/g.cc",
      "#include <mutex>\nstd::mutex mu;\n", 1),

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/logger.h"
+#include "common/metrics.h"
 #include "persist/wal.h"
 #include "plan/planner.h"
 #include "query/parser.h"
@@ -20,10 +21,49 @@ namespace {
 // naming the variable and the bad value, and keep the previous setting.
 void WarnBadOverride(const char* var, const char* value,
                      const char* expected) {
-  std::fprintf(stderr,
-               "[daisy] warning: ignoring malformed %s=\"%s\" (expected %s)\n",
-               var, value, expected);
+  LogWarn("engine", "ignoring malformed environment override",
+          {{"var", var}, {"value", value}, {"expected", expected}});
 }
+
+// Cached instrument pointers for the engine hot paths — one registry
+// lookup per process, one relaxed atomic add per event thereafter.
+struct EngineMetrics {
+  Counter* queries_read;
+  Counter* queries_write;
+  Counter* detect_ops;
+  Counter* repairs;
+  Counter* delta_rows_checked;
+  Counter* rows_appended;
+  Counter* rows_deleted;
+  Gauge* epoch;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* const m = new EngineMetrics();
+    return *m;
+  }
+
+  EngineMetrics() {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    queries_read = r.GetCounter(
+        "daisy_engine_queries_total{path=\"read\"}",
+        "Queries served, by shared-read vs exclusive-writer path");
+    queries_write =
+        r.GetCounter("daisy_engine_queries_total{path=\"write\"}");
+    detect_ops = r.GetCounter("daisy_engine_detect_ops_total",
+                              "Violation-check comparisons performed");
+    repairs = r.GetCounter("daisy_engine_repairs_total",
+                           "Tuples repaired by cleaning operators");
+    delta_rows_checked =
+        r.GetCounter("daisy_engine_delta_rows_checked_total",
+                     "Ingested rows settled by later queries");
+    rows_appended = r.GetCounter("daisy_engine_rows_appended_total",
+                                 "Rows ingested via AppendRows");
+    rows_deleted = r.GetCounter("daisy_engine_rows_deleted_total",
+                                "Rows tombstoned via DeleteRows");
+    epoch = r.GetGauge("daisy_engine_epoch",
+                       "Committed writer count (serial order high water)");
+  }
+};
 
 // Applies `var` to `*flag` iff it holds exactly "0"/"false"/"1"/"true".
 // Returns true when the variable was set (well-formed or not).
@@ -73,11 +113,10 @@ void ApplyEnvOverrides(DaisyOptions* options) {
   // the ablation leg locally) — announce it once per process.
   if (fired) {
     static const bool announced = [] {
-      std::fprintf(stderr,
-                   "[daisy] DAISY_COLUMNAR_FILTERS/DAISY_OPTIMIZER/"
-                   "DAISY_GROUP_COMMIT/DAISY_DETECT_THREADS/"
-                   "DAISY_QUERY_THREADS set: overriding DaisyOptions "
-                   "(CI ablation hook)\n");
+      LogInfo("engine",
+              "DAISY_COLUMNAR_FILTERS/DAISY_OPTIMIZER/DAISY_GROUP_COMMIT/"
+              "DAISY_DETECT_THREADS/DAISY_QUERY_THREADS set: overriding "
+              "DaisyOptions (CI ablation hook)");
       return true;
     }();
     (void)announced;
@@ -108,9 +147,20 @@ void DaisyEngine::TransitionLocked(EngineHealth to, const Status& cause) {
   t.from = health_;
   t.to = to;
   t.reason = cause.ok() ? std::string("recovered") : cause.ToString();
-  std::fprintf(stderr, "[daisy] engine health: %s -> %s (%s)\n",
-               EngineHealthToString(t.from), EngineHealthToString(t.to),
-               t.reason.c_str());
+  // Structured transition record (satellite of the observability PR): the
+  // timestamp/level/fields shape replaces the old raw stderr mirror;
+  // Health() still returns the same transition log contents.
+  Logger::Global().Log(
+      to == EngineHealth::kHealthy ? LogLevel::kInfo : LogLevel::kWarn,
+      "engine", "health transition",
+      {{"from", EngineHealthToString(t.from)},
+       {"to", EngineHealthToString(t.to)},
+       {"cause", t.reason}});
+  MetricsRegistry::Global()
+      .GetCounter(std::string("daisy_engine_health_transitions_total{to=\"") +
+                      EngineHealthToString(to) + "\"}",
+                  "Health-machine transitions, by target state")
+      ->Increment();
   health_log_.push_back(std::move(t));
   health_ = to;
   health_cause_ = to == EngineHealth::kHealthy ? Status::OK() : cause;
@@ -314,6 +364,17 @@ Result<QueryReport> DaisyEngine::ExecutePlanLocked(Plan* plan, bool read_path,
   report.termination = plan->termination();
   report.cut_node = plan->cut_node();
   report.resource_checks = plan->resource_checks();
+
+  // Every query execution funnels through here (Query and ExplainAnalyze,
+  // both paths): account it once, with relaxed adds only.
+  EngineMetrics& m = EngineMetrics::Get();
+  (read_path ? m.queries_read : m.queries_write)->Increment();
+  if (cs.detect_ops > 0) m.detect_ops->Increment(cs.detect_ops);
+  if (cs.errors_fixed > 0) m.repairs->Increment(cs.errors_fixed);
+  if (cs.delta_rows_checked > 0) {
+    m.delta_rows_checked->Increment(cs.delta_rows_checked);
+  }
+  if (!read_path) m.epoch->Set(static_cast<int64_t>(epoch));
   return report;
 }
 
@@ -416,7 +477,7 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
         plan.set_limits(limits);
         DAISY_RETURN_IF_ERROR(
             ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
-        return plan.Explain();
+        return plan.ExplainWithTrace();
       }
     }
   }
@@ -433,7 +494,7 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
     if (options_.use_statistics_pruning && plan.CleaningQuiescent()) {
       DAISY_RETURN_IF_ERROR(
           ExecutePlanLocked(&plan, /*read_path=*/true, epoch_).status());
-      return plan.Explain();
+      return plan.ExplainWithTrace();
     }
     DAISY_RETURN_IF_ERROR(CheckWritableLocked());
     const uint64_t slot = ++epoch_;
@@ -450,7 +511,7 @@ Result<std::string> DaisyEngine::ExplainAnalyze(const std::string& sql,
     if (!cut && wal_ != nullptr && !wal_replay_) {
       DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(persist::EncodeWalQuery(stmt)));
     }
-    rendered = plan.Explain();
+    rendered = plan.ExplainWithTrace();
   }
   DAISY_RETURN_IF_ERROR(AwaitWalTicket(ticket));
   return rendered;
@@ -479,6 +540,8 @@ Result<TableDelta> DaisyEngine::AppendRows(
       return applied;
     }
     delta.engine_epoch = ++epoch_;
+    EngineMetrics::Get().rows_appended->Increment(delta.appended.size());
+    EngineMetrics::Get().epoch->Set(static_cast<int64_t>(epoch_));
     RefreshDerivedState();
     if (!wal_payload.empty()) {
       DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(wal_payload));
@@ -509,6 +572,8 @@ Result<TableDelta> DaisyEngine::DeleteRows(const std::string& table,
       return applied;
     }
     delta.engine_epoch = ++epoch_;
+    EngineMetrics::Get().rows_deleted->Increment(delta.deleted.size());
+    EngineMetrics::Get().epoch->Set(static_cast<int64_t>(epoch_));
     RefreshDerivedState();
     if (!wal_payload.empty()) {
       DAISY_ASSIGN_OR_RETURN(ticket, LogWalLocked(wal_payload));

@@ -92,7 +92,8 @@ struct DaisyOptions {
 /// integers) are set, they override the corresponding fields so the whole
 /// test suite can run with a non-default configuration (see the ablation leg
 /// in .github/workflows). A no-op when no variable is set. Malformed values
-/// are rejected with a stderr warning naming the variable and the bad value;
+/// are rejected with a structured-log warning naming the variable and the
+/// bad value;
 /// the option keeps its previous setting. Applied by the DaisyEngine
 /// constructor.
 void ApplyEnvOverrides(DaisyOptions* options);
@@ -117,7 +118,8 @@ enum class EngineHealth : uint8_t {
 
 const char* EngineHealthToString(EngineHealth health);
 
-/// One logged health transition (also mirrored to stderr when it happens).
+/// One logged health transition (also emitted through the structured
+/// logger, common/logger.h, when it happens).
 struct HealthTransition {
   EngineHealth from = EngineHealth::kHealthy;
   EngineHealth to = EngineHealth::kHealthy;
@@ -229,7 +231,9 @@ class DaisyEngine {
 
   /// Executes `sql` exactly like Query() (cleaning side effects included)
   /// and returns the plan tree annotated with runtime counters — cleanσ
-  /// nodes that settled ingested rows carry "delta rows checked: N".
+  /// nodes that settled ingested rows carry "delta rows checked: N" —
+  /// followed by a `trace:` section with per-operator wall time and row
+  /// counts (open_us/next_us/rows; see docs/architecture.md).
   Result<std::string> ExplainAnalyze(const std::string& sql);
 
   /// Governed ExplainAnalyze: the rendered tree marks the node where the
@@ -421,9 +425,9 @@ class DaisyEngine {
   /// mutation may be accepted until TryRecover() re-arms persistence on a
   /// fresh generation.
   Status CheckWritableLocked() const DAISY_REQUIRES_SHARED(*mu_);
-  /// Records a health transition (appended to the log, mirrored to
-  /// stderr). `cause` becomes the machine's root cause for non-healthy
-  /// targets.
+  /// Records a health transition (appended to the log, emitted through
+  /// the structured logger). `cause` becomes the machine's root cause for
+  /// non-healthy targets.
   void TransitionLocked(EngineHealth to, const Status& cause)
       DAISY_REQUIRES(*mu_);
   /// kHealthy → kDegradedReadOnly on a durability failure; returns a

@@ -1,0 +1,202 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace daisy {
+
+namespace {
+
+/// Splits a full instrument name into (family, labels): the key
+/// `daisy_server_request_latency_us{type="Query"}` has family
+/// `daisy_server_request_latency_us` and labels `type="Query"` (brace-less).
+/// A label-free name has empty labels.
+void SplitName(const std::string& name, std::string* family,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  size_t end = name.size();
+  if (end > brace && name.back() == '}') --end;
+  *labels = name.substr(brace + 1, end - brace - 1);
+}
+
+/// Re-assembles a sample name with an extra label appended (the histogram
+/// `le` bound) — `{a="b"}` + `le="4"` -> `{a="b",le="4"}`.
+std::string WithLabel(const std::string& family, const std::string& labels,
+                      const std::string& extra) {
+  std::string out = family;
+  out += '{';
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+std::string SampleName(const std::string& family, const std::string& labels) {
+  if (labels.empty()) return family;
+  return family + '{' + labels + '}';
+}
+
+void EmitFamilyHeader(const std::string& family, const std::string& type,
+                      const std::map<std::string, std::string>& help,
+                      std::string* last_family, std::ostringstream* out) {
+  if (family == *last_family) return;
+  *last_family = family;
+  const auto it = help.find(family);
+  if (it != help.end() && !it->second.empty()) {
+    *out << "# HELP " << family << " " << it->second << "\n";
+  }
+  *out << "# TYPE " << family << " " << type << "\n";
+}
+
+}  // namespace
+
+Histogram::Histogram(uint64_t first_bound, size_t num_buckets)
+    : num_buckets_(std::min(num_buckets, kMaxBuckets)) {
+  if (num_buckets_ == 0) num_buckets_ = 1;
+  uint64_t bound = first_bound == 0 ? 1 : first_bound;
+  for (size_t i = 0; i < num_buckets_; ++i) {
+    bounds_[i] = bound;
+    buckets_[i].store(0, std::memory_order_relaxed);
+    // Saturate instead of wrapping once the doubling overflows u64.
+    bound = bound > (UINT64_MAX >> 1) ? UINT64_MAX : bound << 1;
+  }
+}
+
+void Histogram::ResetForTest() {
+  for (size_t i = 0; i < num_buckets_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+    std::string family, labels;
+    SplitName(name, &family, &labels);
+    if (!help.empty()) help_.emplace(family, help);
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+    std::string family, labels;
+    SplitName(name, &family, &labels);
+    if (!help.empty()) help_.emplace(family, help);
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         uint64_t first_bound,
+                                         size_t num_buckets,
+                                         const std::string& help) {
+  MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(first_bound, num_buckets)))
+             .first;
+    std::string family, labels;
+    SplitName(name, &family, &labels);
+    if (!help.empty()) help_.emplace(family, help);
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  MutexLock lock(&mu_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histo] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds.reserve(histo->num_buckets());
+    h.bucket_counts.reserve(histo->num_buckets());
+    for (size_t i = 0; i < histo->num_buckets(); ++i) {
+      h.bounds.push_back(histo->bound(i));
+      h.bucket_counts.push_back(histo->BucketCount(i));
+    }
+    h.overflow = histo->OverflowCount();
+    h.count = histo->TotalCount();
+    h.sum = histo->Sum();
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MutexLock lock(&mu_);
+  std::ostringstream out;
+  std::string family, labels, last_family;
+
+  for (const auto& [name, counter] : counters_) {
+    SplitName(name, &family, &labels);
+    EmitFamilyHeader(family, "counter", help_, &last_family, &out);
+    out << SampleName(family, labels) << " " << counter->Value() << "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    SplitName(name, &family, &labels);
+    EmitFamilyHeader(family, "gauge", help_, &last_family, &out);
+    out << SampleName(family, labels) << " " << gauge->Value() << "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, histo] : histograms_) {
+    SplitName(name, &family, &labels);
+    EmitFamilyHeader(family, "histogram", help_, &last_family, &out);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histo->num_buckets(); ++i) {
+      cumulative += histo->BucketCount(i);
+      out << WithLabel(family + "_bucket", labels,
+                       "le=\"" + std::to_string(histo->bound(i)) + "\"")
+          << " " << cumulative << "\n";
+    }
+    cumulative += histo->OverflowCount();
+    out << WithLabel(family + "_bucket", labels, "le=\"+Inf\"") << " "
+        << cumulative << "\n";
+    out << SampleName(family + "_sum", labels) << " " << histo->Sum() << "\n";
+    out << SampleName(family + "_count", labels) << " " << histo->TotalCount()
+        << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  MutexLock lock(&mu_);
+  for (const auto& entry : counters_) entry.second->ResetForTest();
+  for (const auto& entry : gauges_) entry.second->ResetForTest();
+  for (const auto& entry : histograms_) entry.second->ResetForTest();
+}
+
+}  // namespace daisy

@@ -1,0 +1,195 @@
+// Process-wide metrics registry (docs/architecture.md, Observability).
+//
+// Three instrument kinds cover every hot path in the engine:
+//
+//   Counter    monotonically increasing count (queries served, WAL fsyncs)
+//   Gauge      point-in-time signed value (in-flight sessions, epoch)
+//   Histogram  fixed exponential buckets over integer observations
+//              (request latency in µs, group-commit batch sizes)
+//
+// Hot-path cost is one relaxed atomic add — no locks, no allocation. The
+// registry mutex only guards registration (first Get* for a name) and the
+// read side (rendering, snapshots); instrument pointers returned by Get*
+// are stable for the life of the process, so call sites cache them in
+// function-local statics:
+//
+//   static Counter* const queries =
+//       MetricsRegistry::Global().GetCounter("daisy_engine_queries_total");
+//   queries->Increment();
+//
+// Naming scheme: daisy_<layer>_<name>[{label="value",...}] — the full
+// string (labels included) is the registry key; the renderer splits it
+// into family + labels for the Prometheus text exposition. Counters end
+// in `_total`; histograms over wall time end in `_us`.
+//
+// Two read APIs: RenderPrometheus() produces the text exposition page the
+// Metrics RPC serves, and TakeSnapshot() returns plain sorted maps so
+// tests can assert exact values deterministically (and benches can diff
+// two snapshots around a leg).
+
+#ifndef DAISY_COMMON_METRICS_H_
+#define DAISY_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace daisy {
+
+/// Monotonic counter. All mutation is a relaxed atomic add: exact under
+/// any interleaving, imposes no ordering on surrounding code.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Signed point-in-time value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram over non-negative integer observations with fixed exponential
+/// bucket bounds: bound[i] = first_bound << i (an observation lands in the
+/// first bucket whose bound is >= the value; larger values land in the
+/// implicit +Inf overflow bucket). Observe() is a bucket scan over at most
+/// kMaxBuckets entries plus three relaxed adds.
+class Histogram {
+ public:
+  static constexpr size_t kMaxBuckets = 24;
+
+  void Observe(uint64_t value) {
+    size_t i = 0;
+    while (i < num_buckets_ && value > bounds_[i]) ++i;
+    if (i < num_buckets_) {
+      buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    } else {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  size_t num_buckets() const { return num_buckets_; }
+  uint64_t bound(size_t i) const { return bounds_[i]; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t OverflowCount() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(uint64_t first_bound, size_t num_buckets);
+  void ResetForTest();
+
+  size_t num_buckets_;
+  uint64_t bounds_[kMaxBuckets];
+  std::atomic<uint64_t> buckets_[kMaxBuckets];
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Instrument registry. Global() is the process-wide instance every layer
+/// instruments against; tests construct their own local registries for
+/// hermetic goldens. Instruments are created on first Get* and never
+/// destroyed (pointers stay valid until process exit), so ResetForTest()
+/// zeroes values in place instead of clearing the maps — cached call-site
+/// pointers survive.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry.
+  static MetricsRegistry& Global();
+
+  /// Finds or registers the named instrument. `help` is kept from the
+  /// first registration of the family and rendered as `# HELP`. A name
+  /// registered as one kind must not be re-requested as another
+  /// (programming error; returns the existing family's instrument for the
+  /// matching kind only — the mismatched request aborts in debug form by
+  /// returning a fresh orphan instrument that renders nowhere).
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `first_bound` is the smallest bucket upper bound; bounds double per
+  /// bucket for `num_buckets` buckets (capped at Histogram::kMaxBuckets),
+  /// then +Inf. Repeat registrations ignore the bound arguments.
+  Histogram* GetHistogram(const std::string& name, uint64_t first_bound,
+                          size_t num_buckets, const std::string& help = "");
+
+  /// Plain-value snapshot for deterministic test assertions and bench
+  /// deltas. Maps are keyed by full instrument name (labels included) and
+  /// sorted, so two snapshots of identical state compare equal.
+  struct HistogramSnapshot {
+    std::vector<uint64_t> bounds;        ///< per-bucket upper bounds
+    std::vector<uint64_t> bucket_counts; ///< per-bucket (non-cumulative)
+    uint64_t overflow = 0;               ///< observations above the last bound
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4): `# HELP`/`# TYPE` per
+  /// family, counters first, then gauges, then histograms (cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count`). Deterministic: sorted
+  /// by instrument name within each kind.
+  std::string RenderPrometheus() const;
+
+  /// Zeroes every instrument's value in place. Registrations (and any
+  /// cached instrument pointers) survive. Test-only: racing a reset with
+  /// live traffic yields torn-but-valid partial counts.
+  void ResetForTest();
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DAISY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DAISY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DAISY_GUARDED_BY(mu_);
+  /// family name -> help text (first registration wins)
+  std::map<std::string, std::string> help_ DAISY_GUARDED_BY(mu_);
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_COMMON_METRICS_H_

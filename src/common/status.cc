@@ -1,7 +1,8 @@
 #include "common/status.h"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "common/logger.h"
 
 namespace daisy {
 
@@ -49,8 +50,8 @@ std::string Status::ToString() const {
 
 namespace internal {
 void DieOnBadResult(const Status& status) {
-  std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
-               status.ToString().c_str());
+  LogError("common", "Result::ValueOrDie on error",
+           {{"status", status.ToString()}});
   std::abort();
 }
 }  // namespace internal

@@ -9,6 +9,9 @@
 #include <cstdio>
 
 #include "clean/daisy_engine.h"
+#include "common/logger.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "persist/env.h"
 #include "persist/format.h"
 #include "persist/io_util.h"
@@ -258,11 +261,20 @@ Status DaisyEngine::Checkpoint() {
     return Status::Internal("Checkpoint() requires EnablePersistence/Open");
   }
   DAISY_RETURN_IF_ERROR(CheckWritableLocked());
+  Timer timer;
   Status rotated = RotateGenerationLocked();
   // A checkpoint that cannot complete leaves generation N serving, but
   // the I/O layer just proved itself unreliable: degrade and let
   // TryRecover() probe it back to health.
   if (!rotated.ok()) return DegradeLocked(rotated);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("daisy_persist_checkpoints_total",
+                 "Completed checkpoint rotations")
+      ->Increment();
+  reg.GetHistogram("daisy_persist_checkpoint_duration_us",
+                   /*first_bound=*/256, /*num_buckets=*/16,
+                   "Checkpoint (snapshot + WAL rotation) wall time")
+      ->Observe(static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0));
   return Status::OK();
 }
 
@@ -285,6 +297,10 @@ Status DaisyEngine::TryRecover() {
         std::to_string(wait_ms) + " ms");
   }
   ++recover_attempts_;
+  MetricsRegistry::Global()
+      .GetCounter("daisy_persist_recover_attempts_total",
+                  "TryRecover() attempts admitted past the backoff gate")
+      ->Increment();
   SweepOrphanTmpFilesLocked();
   // Re-arm on a fresh generation: snapshotting the current in-memory
   // state also makes the operation whose durability failure degraded us
@@ -437,6 +453,7 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
   }
   if (have_wal_file) {
     engine->wal_replay_ = true;
+    uint64_t replayed = 0;
     for (const std::string& payload : wal.value().payloads) {
       DAISY_ASSIGN_OR_RETURN(persist::WalRecord record,
                              persist::DecodeWalRecord(payload));
@@ -471,9 +488,18 @@ Result<std::unique_ptr<DaisyEngine>> DaisyEngine::Open(const std::string& dir,
         return Status::Internal("WAL replay of " + wal_path +
                                 " failed: " + applied.ToString());
       }
+      ++replayed;
     }
     engine->wal_replay_ = false;
     valid_bytes = wal.value().valid_bytes;
+    MetricsRegistry::Global()
+        .GetCounter("daisy_persist_recovery_replayed_records_total",
+                    "WAL records replayed by Open() recovery")
+        ->Increment(replayed);
+    if (replayed > 0) {
+      LogInfo("persist", "WAL replay complete",
+              {{"path", wal_path}, {"records", std::to_string(replayed)}});
+    }
   }
 
   if (have_wal_file) {

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "persist/format.h"
 #include "persist/io_util.h"
 #include "persist/snapshot.h"
@@ -281,6 +282,37 @@ Status AppendFramed(std::string* out, const std::string& payload) {
 
 }  // namespace
 
+namespace {
+
+// Cached instrument pointers for the WAL commit path (one relaxed add per
+// field per commit; the registry lookup happens once per process).
+struct WalMetrics {
+  Counter* records;
+  Counter* batches;
+  Counter* fsyncs;
+  Histogram* batch_records;
+
+  static WalMetrics& Get() {
+    static WalMetrics* const m = new WalMetrics();
+    return *m;
+  }
+
+  WalMetrics() {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    records = r.GetCounter("daisy_persist_wal_records_total",
+                           "WAL records appended (durable commits)");
+    batches = r.GetCounter("daisy_persist_wal_batches_total",
+                           "WAL frame writes (group-commit batches)");
+    fsyncs = r.GetCounter("daisy_persist_wal_fsyncs_total",
+                          "WAL fsyncs issued");
+    batch_records = r.GetHistogram("daisy_persist_wal_batch_records",
+                                   /*first_bound=*/1, /*num_buckets=*/10,
+                                   "Records per committed WAL batch");
+  }
+};
+
+}  // namespace
+
 Status WalWriter::Append(const std::string& payload) {
   std::string bytes;
   DAISY_RETURN_IF_ERROR(AppendFramed(&bytes, payload));
@@ -290,6 +322,11 @@ Status WalWriter::Append(const std::string& payload) {
   stats_.batches += 1;
   stats_.syncs += 1;
   stats_.max_batch_records = std::max<uint64_t>(stats_.max_batch_records, 1);
+  WalMetrics& m = WalMetrics::Get();
+  m.records->Increment();
+  m.batches->Increment();
+  m.fsyncs->Increment();
+  m.batch_records->Observe(1);
   return Status::OK();
 }
 
@@ -306,6 +343,11 @@ Status WalWriter::AppendBatch(const std::vector<std::string>& payloads) {
   stats_.syncs += 1;
   stats_.max_batch_records =
       std::max<uint64_t>(stats_.max_batch_records, payloads.size());
+  WalMetrics& m = WalMetrics::Get();
+  m.records->Increment(payloads.size());
+  m.batches->Increment();
+  m.fsyncs->Increment();
+  m.batch_records->Observe(payloads.size());
   return Status::OK();
 }
 

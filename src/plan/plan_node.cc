@@ -74,6 +74,7 @@ std::string ScanNode::Label() const {
 }
 
 Status ScanNode::Open(ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   pos_ = 0;
   // Snapshot pin: rows appended after this point (there are none while the
   // engine's lock protocol holds; Plan::Execute trips otherwise) stay
@@ -84,6 +85,7 @@ Status ScanNode::Open(ExecContext* ctx) {
 }
 
 Result<bool> ScanNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  NodeStatsTimer timer(&stats_.next_us);
   DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
   const size_t n = end_;
   if (pos_ >= n) return false;
@@ -117,6 +119,7 @@ std::string FilterNode::Label() const {
 }
 
 Status FilterNode::Open(ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   DAISY_RETURN_IF_ERROR(child_rows_->Open(ctx));
   compiled_.reset();
   parallel_ = false;
@@ -204,6 +207,7 @@ Status FilterNode::ParallelScan(ExecContext* ctx) {
 }
 
 Result<bool> FilterNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  NodeStatsTimer timer(&stats_.next_us);
   if (parallel_) {
     DAISY_RETURN_IF_ERROR(ctx->CheckResources(this));
     if (parallel_pos_ >= parallel_rows_.size()) return false;
@@ -263,6 +267,7 @@ std::string CleanSelectNode::Label() const {
 }
 
 Status CleanSelectNode::Open(ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   rows_.clear();
   pos_ = 0;
   DAISY_ASSIGN_OR_RETURN(std::vector<RowId> rows, child_rows_->Drain(ctx));
@@ -335,6 +340,7 @@ Status CleanSelectNode::Open(ExecContext* ctx) {
 }
 
 Result<bool> CleanSelectNode::NextBatch(ExecContext* ctx, RowIdBatch* out) {
+  NodeStatsTimer timer(&stats_.next_us);
   if (pos_ >= rows_.size()) return false;
   const size_t count = std::min(ctx->batch_size, rows_.size() - pos_);
   out->assign(rows_.begin() + pos_, rows_.begin() + pos_ + count);
@@ -373,6 +379,7 @@ std::string JoinNode::Label() const {
 }
 
 Result<std::vector<JoinedRow>> JoinNode::ExecuteJoined(ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   std::vector<std::vector<RowId>> qualifying;
   qualifying.reserve(children_.size());
   for (const auto& child : children_) {
@@ -445,6 +452,7 @@ Result<std::vector<JoinedRow>> HashJoinStepNode::SideRows(ExecContext* ctx,
 
 Result<std::vector<JoinedRow>> HashJoinStepNode::ExecuteJoined(
     ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> left, SideRows(ctx, 0));
   DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> right, SideRows(ctx, 1));
   stats_.rows_in += left.size() + right.size();
@@ -575,6 +583,7 @@ std::string CleanJoinedNode::Label() const {
 
 Result<std::vector<JoinedRow>> CleanJoinedNode::ExecuteJoined(
     ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   DAISY_ASSIGN_OR_RETURN(std::vector<JoinedRow> joined,
                          child_join_->ExecuteJoined(ctx));
   stats_.rows_in = joined.size();
@@ -685,6 +694,7 @@ std::string OutputNode::Label() const {
 }
 
 Result<QueryOutput> OutputNode::ExecuteOutput(ExecContext* ctx) {
+  NodeStatsTimer timer(&stats_.open_us);
   // The row limit only truncates what the client receives. Cleaning (and,
   // for projections, the SPJ pipeline past the limit) still completes —
   // CleanSelect children clean their whole qualifying set at Open — so a
@@ -786,11 +796,34 @@ void RenderNode(const PlanNode& node, size_t depth, bool executed,
   }
 }
 
+void RenderTraceNode(const PlanNode& node, size_t depth,
+                     std::ostringstream* oss) {
+  if (node.HiddenInExplain()) {
+    for (const auto& child : node.children()) {
+      RenderTraceNode(*child, depth, oss);
+    }
+    return;
+  }
+  for (size_t i = 0; i < depth; ++i) *oss << "  ";
+  *oss << node.Label() << " open_us=" << node.stats().open_us
+       << " next_us=" << node.stats().next_us
+       << " rows=" << node.stats().rows_out << "\n";
+  for (const auto& child : node.children()) {
+    RenderTraceNode(*child, depth + 1, oss);
+  }
+}
+
 }  // namespace
 
 std::string RenderPlanTree(const PlanNode& root, bool executed) {
   std::ostringstream oss;
   RenderNode(root, 0, executed, &oss);
+  return oss.str();
+}
+
+std::string RenderPlanTrace(const PlanNode& root) {
+  std::ostringstream oss;
+  RenderTraceNode(root, 0, &oss);
   return oss.str();
 }
 

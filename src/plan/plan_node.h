@@ -151,6 +151,12 @@ class PlanNode {
     /// Set when a resource check cut the plan at this node (rendered by
     /// EXPLAIN ANALYZE as "cut=timeout" etc.).
     QueryTermination cut = QueryTermination::kComplete;
+    /// Wall time stamped at batch boundaries, inclusive of children (a
+    /// parent's Open drains or opens its child inside its own stamp).
+    /// Rendered by the `trace:` section of ExplainAnalyze; never by the
+    /// default Explain renderer, whose output is pinned by goldens.
+    uint64_t open_us = 0;  ///< Σ wall time inside Open/ExecuteJoined/Output
+    uint64_t next_us = 0;  ///< Σ wall time inside NextBatch calls
   };
 
   explicit PlanNode(Kind kind) : kind_(kind) {}
@@ -430,6 +436,33 @@ class OutputNode : public PlanNode {
 /// Renders `root` as a deterministic indented tree. When `executed` is
 /// true, per-node cardinality counters and runtime flags are appended.
 std::string RenderPlanTree(const PlanNode& root, bool executed);
+
+/// Renders the per-operator timing trace of an executed tree: one line per
+/// visible node, `<Label> open_us=N next_us=N rows=N`, same indentation
+/// and node order as RenderPlanTree. Values are wall-clock and thus
+/// nondeterministic — callers (the `trace:` section of ExplainAnalyze)
+/// must not pin them in goldens.
+std::string RenderPlanTrace(const PlanNode& root);
+
+/// RAII batch-boundary stamp: accumulates the enclosing scope's wall time
+/// into a NodeStats timing field with one steady-clock read at each end.
+class NodeStatsTimer {
+ public:
+  explicit NodeStatsTimer(uint64_t* acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~NodeStatsTimer() {
+    *acc_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  NodeStatsTimer(const NodeStatsTimer&) = delete;
+  NodeStatsTimer& operator=(const NodeStatsTimer&) = delete;
+
+ private:
+  uint64_t* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace daisy
 

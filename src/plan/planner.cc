@@ -109,6 +109,14 @@ Result<QueryOutput> Plan::Execute() {
 
 std::string Plan::Explain() const { return RenderPlanTree(*root_, executed_); }
 
+std::string Plan::ExplainWithTrace() const {
+  std::string out = Explain();
+  if (!executed_) return out;
+  out += "trace:\n";
+  out += RenderPlanTrace(*root_);
+  return out;
+}
+
 namespace {
 
 bool SubtreeQuiescent(const PlanNode& node) {

@@ -81,6 +81,14 @@ class Plan {
   /// cardinality counters and runtime flags are included.
   std::string Explain() const;
 
+  /// Explain() plus, after an Execute(), an appended `trace:` section with
+  /// per-operator wall time and row counts (one line per visible node:
+  /// `<Label> open_us=N next_us=N rows=N`). The trace values are
+  /// wall-clock — nondeterministic — so this never feeds Explain goldens;
+  /// it is the ExplainAnalyze rendering. Identical to Explain() while the
+  /// plan has not executed.
+  std::string ExplainWithTrace() const;
+
   /// Cleaning counters of the last Execute() (zeroes for oblivious plans).
   const CleaningExecStats& cleaning_stats() const { return cleaning_; }
 

@@ -203,5 +203,12 @@ Result<SchemaInfoMsg> DaisyClient::Schema() {
   return SchemaInfoMsg::Decode(reply);
 }
 
+Result<std::string> DaisyClient::Metrics() {
+  DAISY_ASSIGN_OR_RETURN(std::string reply,
+                         RoundTrip(EncodeEmpty(MessageType::kMetrics)));
+  DAISY_ASSIGN_OR_RETURN(MetricsTextMsg msg, MetricsTextMsg::Decode(reply));
+  return std::move(msg.text);
+}
+
 }  // namespace server
 }  // namespace daisy

@@ -69,6 +69,10 @@ class DaisyClient {
   Result<HealthInfoMsg> Health();
   Result<SchemaInfoMsg> Schema();
 
+  /// Scrapes the server's metrics registry: returns the Prometheus text
+  /// exposition page (see docs/architecture.md, Observability).
+  Result<std::string> Metrics();
+
   /// Closes the socket without Bye — simulates a client crash so tests
   /// can exercise cancel-on-disconnect. The client is unusable after.
   void Abandon();

@@ -12,6 +12,8 @@
 #include <cstring>
 
 #include "clean/daisy_engine.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "server/wire.h"
 #include "storage/table.h"
 
@@ -24,6 +26,42 @@ Status CloseOnError(int fd, Status s) {
   if (fd >= 0) ::close(fd);
   return s;
 }
+
+/// Cached instrument pointers for the server layer: one registry lookup
+/// per process, relaxed atomic updates on the connection/request paths.
+/// Request latency histograms are labelled by message type and resolved
+/// lazily (a handful of types; the registry lookup is an uncontended
+/// mutex + map probe, invisible next to a socket round trip).
+struct ServerMetrics {
+  static ServerMetrics& Get() {
+    static ServerMetrics* const m = new ServerMetrics();
+    return *m;
+  }
+
+  Counter* connections = nullptr;
+  Counter* admission_rejections = nullptr;
+  Gauge* inflight_sessions = nullptr;
+
+  Histogram* RequestLatency(MessageType t) {
+    return MetricsRegistry::Global().GetHistogram(
+        std::string("daisy_server_request_latency_us{type=\"") +
+            MessageTypeToString(t) + "\"}",
+        /*first_bound=*/16, /*num_buckets=*/20,
+        "Request handling latency by message type, microseconds.");
+  }
+
+ private:
+  ServerMetrics() {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    connections = r.GetCounter("daisy_server_connections_total",
+                               "Connections accepted by the listeners.");
+    admission_rejections =
+        r.GetCounter("daisy_server_admission_rejections_total",
+                     "Connections bounced by the full accept queue.");
+    inflight_sessions = r.GetGauge("daisy_server_inflight_sessions",
+                                   "Sessions currently being served.");
+  }
+};
 
 /// Watchdog poll interval. Short enough that an abandoned query is cut
 /// within a couple of plan boundary checks, long enough to stay invisible
@@ -163,6 +201,7 @@ void DaisyServer::AcceptLoop(int listen_fd) {
       if (errno == EINTR) continue;
       return;  // listener closed
     }
+    ServerMetrics::Get().connections->Increment();
     bool admitted = false;
     {
       MutexLock lk(&queue_mu_);
@@ -176,6 +215,7 @@ void DaisyServer::AcceptLoop(int listen_fd) {
     } else {
       // The outer admission gate: a full queue answers with one clean,
       // retryable error frame instead of letting connections pile up.
+      ServerMetrics::Get().admission_rejections->Increment();
       SendError(fd, Status::ResourceExhausted(
                         "daisyd accept queue full, retry later"));
       ::close(fd);
@@ -206,6 +246,7 @@ void DaisyServer::ServeConnection(int fd) {
     MutexLock lk(&conns_mu_);
     active_fds_.insert(fd);
   }
+  ServerMetrics::Get().inflight_sessions->Increment();
   Session session;
   session.id = next_session_id_.fetch_add(1);
   session.fd = fd;
@@ -262,6 +303,7 @@ void DaisyServer::ServeConnection(int fd) {
     active_fds_.erase(fd);
   }
   ::close(fd);
+  ServerMetrics::Get().inflight_sessions->Decrement();
   sessions_served_.fetch_add(1);
 }
 
@@ -272,27 +314,41 @@ bool DaisyServer::DispatchRequest(Session* session,
     SendError(session->fd, type.status());
     return false;
   }
+  Histogram* const latency = ServerMetrics::Get().RequestLatency(type.value());
+  Timer timer;
+  bool keep = false;
   switch (type.value()) {
     case MessageType::kQuery:
-      return HandleQuery(session, payload);
+      keep = HandleQuery(session, payload);
+      break;
     case MessageType::kAppend:
-      return HandleAppend(session, payload);
+      keep = HandleAppend(session, payload);
+      break;
     case MessageType::kDelete:
-      return HandleDelete(session, payload);
+      keep = HandleDelete(session, payload);
+      break;
     case MessageType::kCleanAll:
-      return HandleSimple(session, +[](DaisyEngine* e) {
+      keep = HandleSimple(session, +[](DaisyEngine* e) {
         return e->CleanAllRemaining();
       });
+      break;
     case MessageType::kCheckpoint:
-      return HandleSimple(session, +[](DaisyEngine* e) {
+      keep = HandleSimple(session, +[](DaisyEngine* e) {
         return e->Checkpoint();
       });
+      break;
     case MessageType::kHealth:
-      return HandleHealth(session);
+      keep = HandleHealth(session);
+      break;
     case MessageType::kSchema:
-      return HandleSchema(session);
+      keep = HandleSchema(session);
+      break;
+    case MessageType::kMetrics:
+      keep = HandleMetrics(session);
+      break;
     case MessageType::kBye:
-      return false;
+      keep = false;
+      break;
     default:
       // A reply type (or garbage) from a client poisons the stream.
       SendError(session->fd,
@@ -301,6 +357,8 @@ bool DaisyServer::DispatchRequest(Session* session,
                     MessageTypeToString(type.value())));
       return false;
   }
+  latency->Observe(static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0));
+  return keep;
 }
 
 bool DaisyServer::HandleQuery(Session* session, const std::string& payload) {
@@ -411,6 +469,12 @@ bool DaisyServer::HandleHealth(Session* session) {
   reply.state = static_cast<uint8_t>(info.state);
   reply.cause = info.cause.ok() ? "" : info.cause.ToString();
   reply.recover_attempts = info.recover_attempts;
+  return WriteFrame(session->fd, reply.Encode()).ok();
+}
+
+bool DaisyServer::HandleMetrics(Session* session) {
+  MetricsTextMsg reply;
+  reply.text = MetricsRegistry::Global().RenderPrometheus();
   return WriteFrame(session->fd, reply.Encode()).ok();
 }
 

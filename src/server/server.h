@@ -109,6 +109,9 @@ class DaisyServer {
   bool HandleSimple(Session* session, Status (*op)(DaisyEngine*));
   bool HandleHealth(Session* session);
   bool HandleSchema(Session* session);
+  /// Replies with the process metrics registry rendered as a Prometheus
+  /// text exposition page (common/metrics.h).
+  bool HandleMetrics(Session* session);
 
   /// Sends an Error frame for `s`; returns false if the send failed.
   bool SendError(int fd, const Status& s);

@@ -104,6 +104,7 @@ const char* MessageTypeToString(MessageType t) {
     case MessageType::kHealth: return "Health";
     case MessageType::kSchema: return "Schema";
     case MessageType::kBye: return "Bye";
+    case MessageType::kMetrics: return "Metrics";
     case MessageType::kHelloAck: return "HelloAck";
     case MessageType::kRowHeader: return "RowHeader";
     case MessageType::kRowBatch: return "RowBatch";
@@ -112,6 +113,7 @@ const char* MessageTypeToString(MessageType t) {
     case MessageType::kAck: return "Ack";
     case MessageType::kHealthInfo: return "HealthInfo";
     case MessageType::kSchemaInfo: return "SchemaInfo";
+    case MessageType::kMetricsText: return "MetricsText";
     case MessageType::kError: return "Error";
   }
   return "Unknown";
@@ -362,6 +364,21 @@ Result<ExplainTextMsg> ExplainTextMsg::Decode(const std::string& payload) {
   DAISY_ASSIGN_OR_RETURN(BinaryReader r,
                          BodyReader(payload, MessageType::kExplainText));
   ExplainTextMsg m;
+  DAISY_ASSIGN_OR_RETURN(m.text, r.ReadString());
+  return m;
+}
+
+std::string MetricsTextMsg::Encode() const {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kMetricsText));
+  w.WriteString(text);
+  return w.TakeBuffer();
+}
+
+Result<MetricsTextMsg> MetricsTextMsg::Decode(const std::string& payload) {
+  DAISY_ASSIGN_OR_RETURN(BinaryReader r,
+                         BodyReader(payload, MessageType::kMetricsText));
+  MetricsTextMsg m;
   DAISY_ASSIGN_OR_RETURN(m.text, r.ReadString());
   return m;
 }

@@ -22,6 +22,7 @@
 //   Append/Delete/CleanAll/Checkpoint -> Ack | Error
 //   Health       -> HealthInfo
 //   Schema       -> SchemaInfo | Error
+//   Metrics      -> MetricsText (Prometheus exposition page)
 //   Bye          -> (server closes)
 //
 // Result rows stream in batches of kRowsPerBatch so a large result never
@@ -64,6 +65,7 @@ enum class MessageType : uint8_t {
   kHealth = 7,
   kSchema = 8,
   kBye = 9,
+  kMetrics = 10,    ///< scrape the process metrics registry
 
   // Replies (server -> client).
   kHelloAck = 64,
@@ -74,6 +76,7 @@ enum class MessageType : uint8_t {
   kAck = 69,         ///< terminal: rows_affected for write ops
   kHealthInfo = 70,
   kSchemaInfo = 71,
+  kMetricsText = 72, ///< terminal: Prometheus text exposition page
   kError = 127,      ///< terminal: StatusCode + message
 };
 
@@ -144,7 +147,7 @@ struct DeleteMsg {
   static Result<DeleteMsg> Decode(const std::string& payload);
 };
 
-/// Body-less requests (CleanAll, Checkpoint, Health, Schema, Bye).
+/// Body-less requests (CleanAll, Checkpoint, Health, Schema, Metrics, Bye).
 std::string EncodeEmpty(MessageType t);
 
 struct RowHeaderMsg {
@@ -177,6 +180,14 @@ struct ExplainTextMsg {
   std::string text;
   std::string Encode() const;
   static Result<ExplainTextMsg> Decode(const std::string& payload);
+};
+
+/// The Prometheus text exposition page of the process metrics registry
+/// (common/metrics.h) — the reply to a Metrics request.
+struct MetricsTextMsg {
+  std::string text;
+  std::string Encode() const;
+  static Result<MetricsTextMsg> Decode(const std::string& payload);
 };
 
 struct AckMsg {

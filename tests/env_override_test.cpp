@@ -1,7 +1,8 @@
 // Pins ApplyEnvOverrides (src/clean/daisy_engine.cc): well-formed values
-// override DaisyOptions, malformed values are rejected with a stderr
-// warning naming the variable and the bad value, and the option keeps its
-// previous setting — never a silent drop, never a garbage parse.
+// override DaisyOptions, malformed values are rejected with a structured-
+// log warning (JSON on stderr, common/logger.h) naming the variable and
+// the bad value, and the option keeps its previous setting — never a
+// silent drop, never a garbage parse.
 
 #include <gtest/gtest.h>
 
@@ -100,7 +101,7 @@ TEST_F(EnvOverrideTest, MalformedThreadCountWarnsAndKeepsSetting) {
     const std::string err = ApplyWith(c.var, c.value, &options);
     EXPECT_EQ(options.detect_threads, 3u) << c.var << "=" << c.value;
     EXPECT_EQ(options.query_threads, 5u) << c.var << "=" << c.value;
-    EXPECT_NE(err.find("warning"), std::string::npos)
+    EXPECT_NE(err.find("\"level\":\"warn\""), std::string::npos)
         << c.var << "=" << c.value << " produced: " << err;
     EXPECT_NE(err.find(c.var), std::string::npos)
         << c.var << "=" << c.value << " produced: " << err;
@@ -117,7 +118,7 @@ TEST_F(EnvOverrideTest, MalformedBoolWarnsAndKeepsSetting) {
     options.optimizer = true;
     const std::string err = ApplyWith("DAISY_OPTIMIZER", value, &options);
     EXPECT_TRUE(options.optimizer) << "DAISY_OPTIMIZER=" << value;
-    EXPECT_NE(err.find("warning"), std::string::npos)
+    EXPECT_NE(err.find("\"level\":\"warn\""), std::string::npos)
         << "DAISY_OPTIMIZER=" << value << " produced: " << err;
     EXPECT_NE(err.find("DAISY_OPTIMIZER"), std::string::npos)
         << "DAISY_OPTIMIZER=" << value << " produced: " << err;
@@ -128,7 +129,7 @@ TEST_F(EnvOverrideTest, ValidValueDoesNotWarn) {
   DaisyOptions options;
   const std::string err = ApplyWith("DAISY_DETECT_THREADS", "2", &options);
   EXPECT_EQ(options.detect_threads, 2u);
-  EXPECT_EQ(err.find("warning"), std::string::npos) << err;
+  EXPECT_EQ(err.find("\"level\":\"warn\""), std::string::npos) << err;
 }
 
 TEST_F(EnvOverrideTest, NoVariablesSetIsANoOp) {

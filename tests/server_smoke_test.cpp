@@ -10,6 +10,9 @@
 //     recovered table holds a superset of the acked keys (an op whose
 //     WAL record landed but whose ack never reached the client may
 //     legitimately reappear) and no duplicates.
+//   * observability: a live `.metrics` scrape returns a Prometheus text
+//     page spanning the engine, persist, and server metric families, and
+//     `daisyd --metrics-dump PATH` writes the final page on SIGTERM.
 //
 // Runs under the `server` CTest label.
 
@@ -350,6 +353,68 @@ TEST_F(ServerSmokeTest, KillMidWriteLosesNoAckedOps) {
   EXPECT_EQ(WEXITSTATUS(cli_status), 0) << "daisy-cli one-shot failed";
 
   recovered.Terminate(SIGTERM);
+}
+
+TEST_F(ServerSmokeTest, MetricsScrapeSpansLayersAndDumpsOnSigterm) {
+  const std::string dump_path = tmp_.Sub("final_metrics.prom");
+  std::vector<std::string> args = bootstrap_args_;
+  args.push_back("--metrics-dump");
+  args.push_back(dump_path);
+
+  DaisydProcess daisyd;
+  daisyd.Start(args);
+  if (HasFatalFailure()) return;
+  daisyd.AwaitReady();
+  if (HasFatalFailure()) return;
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Touch all three layers so their instrument families exist: a query
+  // (engine), an append (engine write + WAL), and the connection itself
+  // (server).
+  ASSERT_TRUE(
+      client.value()->Query("SELECT zip, city FROM cities").ok());
+  ASSERT_TRUE(client.value()->Append("plain", {{Value(42)}}).ok());
+
+  Result<std::string> page = client.value()->Metrics();
+  ASSERT_TRUE(page.ok()) << page.status();
+  for (const char* family :
+       {"# TYPE ", "daisy_engine_queries_total",
+        "daisy_engine_rows_appended_total", "daisy_persist_wal_fsyncs_total",
+        "daisy_server_connections_total",
+        "daisy_server_request_latency_us_bucket"}) {
+    EXPECT_NE(page.value().find(family), std::string::npos)
+        << "scrape missing " << family << "; page:\n" << page.value();
+  }
+
+  // The real CLI's .metrics dot-command against the same server.
+  const pid_t cli = ::fork();
+  ASSERT_GE(cli, 0);
+  if (cli == 0) {
+    const std::string connect = "unix:" + sock_;
+    ::execl(DAISY_CLI_PATH, DAISY_CLI_PATH, "--connect", connect.c_str(),
+            "-e", ".metrics", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int cli_status = 0;
+  ::waitpid(cli, &cli_status, 0);
+  EXPECT_TRUE(WIFEXITED(cli_status));
+  EXPECT_EQ(WEXITSTATUS(cli_status), 0) << "daisy-cli .metrics failed";
+
+  // SIGTERM: clean exit writes the final page to --metrics-dump.
+  const int status = daisyd.Terminate(SIGTERM);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  Result<std::string> dumped = persist::ReadFileFully(dump_path);
+  ASSERT_TRUE(dumped.ok()) << dumped.status();
+  for (const char* family :
+       {"daisy_engine_queries_total", "daisy_persist_wal_fsyncs_total",
+        "daisy_server_connections_total"}) {
+    EXPECT_NE(dumped.value().find(family), std::string::npos)
+        << "dump missing " << family << "; page:\n" << dumped.value();
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 // cover the rest of the protocol:
 //   .schema               table catalog
 //   .health               engine health machine state
+//   .metrics              Prometheus text page from the server's registry
 //   .analyze SELECT ...   remote EXPLAIN ANALYZE
 //   .append TABLE v1,v2   ingest one row (fields coerced by column type)
 //   .delete TABLE id,...  tombstone rows by id
@@ -36,6 +37,7 @@ using daisy::Value;
 using daisy::server::DaisyClient;
 
 int Usage(const char* argv0) {
+  // daisy-lint: allow(raw-stderr) CLI usage text, not engine logging
   std::fprintf(stderr,
                "usage: %s --connect unix:PATH|tcp:HOST:PORT [-e STMT]\n",
                argv0);
@@ -140,6 +142,15 @@ Status RunStatement(DaisyClient* client, CliState* state,
     if (!health.value().cause.empty()) {
       std::printf("cause: %s\n", health.value().cause.c_str());
     }
+    return Status::OK();
+  }
+  if (line == ".metrics") {
+    Result<std::string> page = client->Metrics();
+    if (!page.ok()) {
+      report(page.status());
+      return Status::OK();
+    }
+    std::printf("%s", page.value().c_str());
     return Status::OK();
   }
   if (line.rfind(".analyze ", 0) == 0) {
@@ -265,6 +276,7 @@ int main(int argc, char** argv) {
     return Status::InvalidArgument("bad --connect spec: " + connect);
   }();
   if (!client.ok()) {
+    // daisy-lint: allow(raw-stderr) CLI connect diagnostic, not engine logging
     std::fprintf(stderr, "daisy-cli: %s\n",
                  client.status().ToString().c_str());
     return 1;

@@ -9,6 +9,12 @@
 //          [--table NAME:col:type,col:type]... [--csv NAME=FILE]...
 //          [--rule "TEXT@TABLE"]...
 //          [--workers N] [--backlog N]
+//          [--metrics-dump PATH]
+//
+// --metrics-dump writes the final Prometheus text exposition page of the
+// process metrics registry to PATH on clean shutdown (SIGTERM/SIGINT) —
+// the scrape-vs-dump lifecycle of docs/architecture.md: live scraping via
+// the Metrics wire message, a last page for post-mortems via the dump.
 //
 // Startup resolves the engine in this order:
 //   1. --data-dir holding a snapshot  -> DaisyEngine::Open (warm recovery:
@@ -18,7 +24,7 @@
 //
 // Environment overrides (DAISY_QUERY_THREADS, DAISY_DETECT_THREADS,
 // DAISY_OPTIMIZER, DAISY_GROUP_COMMIT, ...) apply on top of defaults;
-// malformed values warn on stderr and are ignored.
+// malformed values are ignored with a structured-log warning.
 //
 // Once serving, prints exactly one readiness line to stdout:
 //   daisyd ready unix=<path> tcp_port=<port|-1>
@@ -37,6 +43,8 @@
 
 #include "clean/daisy_engine.h"
 #include "common/csv.h"
+#include "common/logger.h"
+#include "common/metrics.h"
 #include "persist/io_util.h"
 #include "server/server.h"
 
@@ -60,12 +68,13 @@ volatile std::sig_atomic_t g_stop = 0;
 void HandleStop(int) { g_stop = 1; }
 
 int Usage(const char* argv0) {
+  // daisy-lint: allow(raw-stderr) CLI usage text, not engine logging
   std::fprintf(
       stderr,
       "usage: %s --listen unix:PATH|tcp:HOST:PORT [--listen ...]\n"
       "          [--data-dir DIR] [--table NAME:col:type,...]\n"
       "          [--csv NAME=FILE] [--rule \"TEXT@TABLE\"]\n"
-      "          [--workers N] [--backlog N]\n",
+      "          [--workers N] [--backlog N] [--metrics-dump PATH]\n",
       argv0);
   return 2;
 }
@@ -179,6 +188,7 @@ int main(int argc, char** argv) {
   ServerOptions server_options;
   server_options.worker_threads = 8;
   std::string data_dir;
+  std::string metrics_dump_path;
   std::vector<std::string> table_specs;
   std::vector<std::pair<std::string, std::string>> csv_specs;  // table, file
   std::vector<std::string> rule_specs;                         // text@table
@@ -230,12 +240,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       server_options.accept_backlog = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--metrics-dump") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_dump_path = v;
     } else {
+      // daisy-lint: allow(raw-stderr) flag-parse diagnostic before logger use
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage(argv[0]);
     }
   }
   if (server_options.unix_path.empty() && server_options.tcp_host.empty()) {
+    // daisy-lint: allow(raw-stderr) flag-parse diagnostic before logger use
     std::fprintf(stderr, "at least one --listen is required\n");
     return Usage(argv[0]);
   }
@@ -253,33 +269,36 @@ int main(int argc, char** argv) {
     Result<std::unique_ptr<DaisyEngine>> opened =
         DaisyEngine::Open(data_dir, &db, options);
     if (!opened.ok()) {
-      std::fprintf(stderr, "daisyd: recovery from %s failed: %s\n",
-                   data_dir.c_str(), opened.status().ToString().c_str());
+      daisy::LogError("daisyd", "recovery failed",
+                      {{"data_dir", data_dir},
+                       {"status", opened.status().ToString()}});
       return 1;
     }
     owned_engine = std::move(opened).value();
     engine = owned_engine.get();
-    std::fprintf(stderr, "daisyd: warm recovery from %s complete\n",
-                 data_dir.c_str());
+    daisy::LogInfo("daisyd", "warm recovery complete",
+                   {{"data_dir", data_dir}});
   } else {
     for (const std::string& spec : table_specs) {
       Result<TableSpec> parsed = ParseTableSpec(spec);
       if (!parsed.ok()) {
-        std::fprintf(stderr, "daisyd: %s\n",
-                     parsed.status().ToString().c_str());
+        daisy::LogError("daisyd", "bad --table spec",
+                        {{"status", parsed.status().ToString()}});
         return 1;
       }
       Table table(parsed.value().name, parsed.value().schema);
       for (const auto& csv : csv_specs) {
         if (csv.first != parsed.value().name) continue;
         if (Status st = LoadCsvInto(&table, csv.second); !st.ok()) {
-          std::fprintf(stderr, "daisyd: loading %s: %s\n", csv.second.c_str(),
-                       st.ToString().c_str());
+          daisy::LogError("daisyd", "CSV load failed",
+                          {{"file", csv.second},
+                           {"status", st.ToString()}});
           return 1;
         }
       }
       if (Status st = db.AddTable(std::move(table)); !st.ok()) {
-        std::fprintf(stderr, "daisyd: %s\n", st.ToString().c_str());
+        daisy::LogError("daisyd", "adding table failed",
+                        {{"status", st.ToString()}});
         return 1;
       }
     }
@@ -287,8 +306,8 @@ int main(int argc, char** argv) {
     for (const std::string& spec : rule_specs) {
       const size_t at = spec.rfind('@');
       if (at == std::string::npos) {
-        std::fprintf(stderr, "daisyd: --rule wants \"TEXT@TABLE\", got %s\n",
-                     spec.c_str());
+        daisy::LogError("daisyd", "--rule wants \"TEXT@TABLE\"",
+                        {{"spec", spec}});
         return 1;
       }
       const std::string text = spec.substr(0, at);
@@ -296,14 +315,15 @@ int main(int argc, char** argv) {
       Result<const Table*> table =
           static_cast<const Database&>(db).GetTable(table_name);
       if (!table.ok()) {
-        std::fprintf(stderr, "daisyd: rule table '%s' unknown\n",
-                     table_name.c_str());
+        daisy::LogError("daisyd", "rule table unknown",
+                        {{"table", table_name}});
         return 1;
       }
       if (Status st =
               rules.AddFromText(text, table_name, table.value()->schema());
           !st.ok()) {
-        std::fprintf(stderr, "daisyd: %s\n", st.ToString().c_str());
+        daisy::LogError("daisyd", "adding rule failed",
+                        {{"status", st.ToString()}});
         return 1;
       }
     }
@@ -311,14 +331,15 @@ int main(int argc, char** argv) {
                                                  options);
     engine = owned_engine.get();
     if (Status st = engine->Prepare(); !st.ok()) {
-      std::fprintf(stderr, "daisyd: prepare failed: %s\n",
-                   st.ToString().c_str());
+      daisy::LogError("daisyd", "prepare failed",
+                      {{"status", st.ToString()}});
       return 1;
     }
     if (!data_dir.empty()) {
       if (Status st = engine->EnablePersistence(data_dir); !st.ok()) {
-        std::fprintf(stderr, "daisyd: persistence on %s failed: %s\n",
-                     data_dir.c_str(), st.ToString().c_str());
+        daisy::LogError("daisyd", "enabling persistence failed",
+                        {{"data_dir", data_dir},
+                         {"status", st.ToString()}});
         return 1;
       }
     }
@@ -326,7 +347,8 @@ int main(int argc, char** argv) {
 
   DaisyServer server(engine, server_options);
   if (Status st = server.Start(); !st.ok()) {
-    std::fprintf(stderr, "daisyd: %s\n", st.ToString().c_str());
+    daisy::LogError("daisyd", "server start failed",
+                    {{"status", st.ToString()}});
     return 1;
   }
 
@@ -345,8 +367,22 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  std::fprintf(stderr, "daisyd: shutting down (%llu sessions served)\n",
-               static_cast<unsigned long long>(server.sessions_served()));
+  daisy::LogInfo(
+      "daisyd", "shutting down",
+      {{"sessions_served", std::to_string(server.sessions_served())}});
   server.Stop();
+
+  if (!metrics_dump_path.empty()) {
+    const std::string page = daisy::MetricsRegistry::Global().RenderPrometheus();
+    if (Status st = daisy::persist::WriteFileAtomic(metrics_dump_path, page);
+        !st.ok()) {
+      daisy::LogError("daisyd", "metrics dump failed",
+                      {{"path", metrics_dump_path},
+                       {"status", st.ToString()}});
+      return 1;
+    }
+    daisy::LogInfo("daisyd", "metrics dumped",
+                   {{"path", metrics_dump_path}});
+  }
   return 0;
 }
